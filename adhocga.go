@@ -1,0 +1,189 @@
+package adhocga
+
+import (
+	"adhocga/internal/baselines"
+	"adhocga/internal/core"
+	"adhocga/internal/experiment"
+	"adhocga/internal/ga"
+	"adhocga/internal/game"
+	"adhocga/internal/ipdrp"
+	"adhocga/internal/network"
+	"adhocga/internal/rng"
+	"adhocga/internal/strategy"
+	"adhocga/internal/tournament"
+)
+
+// Strategy is the paper's 13-bit forwarding strategy (§3.3): twelve
+// (trust, activity) decisions plus an unknown-node decision.
+type Strategy = strategy.Strategy
+
+// TrustLevel is the four-level trust scale of §3.1.
+type TrustLevel = strategy.TrustLevel
+
+// ActivityLevel is the three-level activity scale of §3.2.
+type ActivityLevel = strategy.ActivityLevel
+
+// Decision is a forward/discard decision.
+type Decision = strategy.Decision
+
+// Decision and level constants re-exported for callers of Strategy.Decide.
+const (
+	Forward = strategy.Forward
+	Discard = strategy.Discard
+
+	Trust0 = strategy.Trust0
+	Trust1 = strategy.Trust1
+	Trust2 = strategy.Trust2
+	Trust3 = strategy.Trust3
+
+	ActivityLow    = strategy.ActivityLow
+	ActivityMedium = strategy.ActivityMedium
+	ActivityHigh   = strategy.ActivityHigh
+)
+
+// ParseStrategy decodes the paper's strategy notation, with or without
+// grouping spaces: "010 101 101 111 1" or "0101011011111".
+func ParseStrategy(s string) (Strategy, error) { return strategy.Parse(s) }
+
+// RandomStrategy returns a uniformly random strategy drawn from a
+// deterministic stream seeded with seed.
+func RandomStrategy(seed uint64) Strategy { return strategy.Random(rng.New(seed)) }
+
+// AllForward returns the fully cooperative strategy.
+func AllForward() Strategy { return strategy.AllForward() }
+
+// AllDiscard returns the fully selfish strategy (CSN behavior).
+func AllDiscard() Strategy { return strategy.AllDiscard() }
+
+// Environment is one tournament environment: a name and a CSN count
+// (Table 1).
+type Environment = tournament.Environment
+
+// PaperEnvironments returns TE1–TE4 from Table 1.
+func PaperEnvironments() []Environment { return tournament.PaperEnvironments() }
+
+// PathMode bundles the hop-count and alternate-path distributions of §6.1.
+type PathMode = network.PathMode
+
+// ShorterPaths returns the SP path mode (Table 2, left).
+func ShorterPaths() PathMode { return network.ShorterPaths() }
+
+// LongerPaths returns the LP path mode (Table 2, right).
+func LongerPaths() PathMode { return network.LongerPaths() }
+
+// EvolutionConfig parameterizes one evolutionary run; see
+// DefaultEvolutionConfig and the core package for field semantics.
+type EvolutionConfig = core.Config
+
+// GenerationStats is the per-generation snapshot passed to the
+// OnGeneration hook.
+type GenerationStats = core.GenerationStats
+
+// PopulationStats summarizes a generation's fitness distribution and
+// genome diversity (also used by the IPDRP substrate's hook).
+type PopulationStats = ga.PopulationStats
+
+// EvolutionResult holds a run's cooperation history and final population.
+type EvolutionResult = core.Result
+
+// DefaultEvolutionConfig returns the paper's §6.1 parameterization (N=100,
+// T=50, R=300, 500 generations) for the given environments and path mode.
+// Scale Generations and Eval.Tournament.Rounds down for quick runs.
+func DefaultEvolutionConfig(envs []Environment, mode PathMode, seed uint64) EvolutionConfig {
+	return core.PaperConfig(envs, mode, seed)
+}
+
+// Evolve runs one evolutionary experiment.
+func Evolve(cfg EvolutionConfig) (*EvolutionResult, error) {
+	engine, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Run()
+}
+
+// Case is one of the paper's four evaluation cases (Table 4).
+type Case = experiment.Case
+
+// Cases returns the four evaluation cases of Table 4.
+func Cases() []Case { return experiment.Cases() }
+
+// CaseByID returns the evaluation case with id 1–4.
+func CaseByID(id int) (Case, error) { return experiment.CaseByID(id) }
+
+// Scale selects the computational budget of a reproduction run.
+type Scale = experiment.Scale
+
+// Standard scales: the paper's full budget, a minutes-scale default, and a
+// seconds-scale smoke setting.
+var (
+	ScaleSmoke   = experiment.Smoke
+	ScaleDefault = experiment.Default
+	ScalePaper   = experiment.PaperScale
+)
+
+// CaseResult aggregates one evaluation case over all replications.
+type CaseResult = experiment.CaseResult
+
+// RunOptions tune RunCase.
+type RunOptions = experiment.Options
+
+// RunCase reproduces one evaluation case at the given scale, fanning
+// replications out over a worker pool. Deterministic for a fixed seed.
+func RunCase(c Case, sc Scale, opts RunOptions) (*CaseResult, error) {
+	return experiment.RunCase(c, sc, opts)
+}
+
+// SweepPoint is one sample of a CSN sweep: the selfish-node count and the
+// evolved cooperation level.
+type SweepPoint = experiment.SweepPoint
+
+// CSNSweep traces evolved cooperation against the number of constantly
+// selfish nodes in a 50-player tournament — the curve the paper samples at
+// 0, 10, 25 and 30 (Table 1).
+func CSNSweep(csnCounts []int, mode PathMode, sc Scale, opts RunOptions) ([]SweepPoint, error) {
+	return experiment.CSNSweep(csnCounts, mode, sc, opts)
+}
+
+// Profile is a named fixed (non-evolved) strategy for baseline mixes.
+type Profile = baselines.Profile
+
+// MixConfig describes a fixed-population tournament; MixResult reports its
+// outcome.
+type (
+	MixConfig = baselines.MixConfig
+	MixResult = baselines.MixResult
+	MixGroup  = baselines.Group
+)
+
+// Built-in baseline profiles.
+var (
+	ProfileAllCooperate    = baselines.AllCooperate
+	ProfileAllDefect       = baselines.AllDefect
+	ProfileTrustThreshold1 = baselines.TrustThreshold1
+	ProfileTrustThreshold2 = baselines.TrustThreshold2
+)
+
+// RunMix plays one tournament with a fixed population of profiles and CSN.
+func RunMix(cfg MixConfig) (*MixResult, error) { return baselines.RunMix(cfg) }
+
+// GameConfig holds the game rules (payoffs, trust table, activity band).
+type GameConfig = game.Config
+
+// DefaultGameConfig returns the paper's rules: the Fig 2a payoff tables,
+// the Fig 1b trust lookup, unknown-node trust 1, ±20% activity band.
+func DefaultGameConfig() GameConfig { return game.DefaultConfig() }
+
+// IPDRPConfig parameterizes the Iterated Prisoner's Dilemma under Random
+// Pairing substrate [12] that the paper's game model generalizes.
+type IPDRPConfig = ipdrp.Config
+
+// IPDRPResult holds an IPDRP run's cooperation trajectory.
+type IPDRPResult = ipdrp.Result
+
+// DefaultIPDRPConfig mirrors the scale of Namikawa and Ishibuchi's
+// experiments (population 100, roulette selection).
+func DefaultIPDRPConfig(seed uint64) IPDRPConfig { return ipdrp.DefaultConfig(seed) }
+
+// RunIPDRP evolves a population of 5-bit IPDRP strategies.
+func RunIPDRP(cfg IPDRPConfig) (*IPDRPResult, error) { return ipdrp.Run(cfg) }

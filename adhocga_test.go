@@ -1,0 +1,99 @@
+package adhocga
+
+import (
+	"testing"
+)
+
+func TestFacadeStrategyRoundtrip(t *testing.T) {
+	s, err := ParseStrategy("010 101 101 111 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Decide(Trust3, ActivityLow) != Forward {
+		t.Error("facade Decide wrong")
+	}
+	if s.DecideUnknown() != Forward {
+		t.Error("facade DecideUnknown wrong")
+	}
+	if AllForward().Cooperativeness() != 1 || AllDiscard().Cooperativeness() != 0 {
+		t.Error("facade extremes wrong")
+	}
+	a, b := RandomStrategy(5), RandomStrategy(5)
+	if !a.Equal(b) {
+		t.Error("RandomStrategy not deterministic per seed")
+	}
+}
+
+func TestFacadeEnvironmentsAndCases(t *testing.T) {
+	if len(PaperEnvironments()) != 4 {
+		t.Error("PaperEnvironments wrong")
+	}
+	if len(Cases()) != 4 {
+		t.Error("Cases wrong")
+	}
+	c, err := CaseByID(2)
+	if err != nil || c.ID != 2 {
+		t.Errorf("CaseByID: %v, %v", c, err)
+	}
+	if ShorterPaths().Name != "SP" || LongerPaths().Name != "LP" {
+		t.Error("path modes wrong")
+	}
+	if ScalePaper.Generations != 500 || ScaleSmoke.Generations <= 0 {
+		t.Error("scales wrong")
+	}
+}
+
+func TestFacadeEvolveSmoke(t *testing.T) {
+	cfg := DefaultEvolutionConfig(PaperEnvironments()[:1], ShorterPaths(), 3)
+	cfg.PopulationSize = 20
+	cfg.Eval.TournamentSize = 10
+	cfg.Eval.Tournament.Rounds = 10
+	cfg.Generations = 3
+	var hooks int
+	cfg.OnGeneration = func(GenerationStats) { hooks++ }
+	res, err := Evolve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CoopSeries) != 3 || hooks != 3 {
+		t.Errorf("series %d, hooks %d", len(res.CoopSeries), hooks)
+	}
+	if len(res.FinalStrategies) != 20 {
+		t.Errorf("%d final strategies", len(res.FinalStrategies))
+	}
+}
+
+func TestFacadeRunMixSmoke(t *testing.T) {
+	res, err := RunMix(MixConfig{
+		Groups: []MixGroup{{Profile: ProfileAllCooperate, Count: 10}},
+		CSN:    2,
+		Rounds: 10,
+		Mode:   ShorterPaths(),
+		Game:   DefaultGameConfig(),
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cooperation <= 0 || res.Cooperation > 1 {
+		t.Errorf("cooperation %v", res.Cooperation)
+	}
+	if len(res.Groups) != 1 || res.Groups[0].Name != ProfileAllCooperate.Name {
+		t.Errorf("groups %+v", res.Groups)
+	}
+}
+
+func TestFacadeRunCaseSmoke(t *testing.T) {
+	c, err := CaseByID(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scale{Name: "tiny", Generations: 2, Rounds: 10, Repetitions: 2}
+	res, err := RunCase(c, sc, RunOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CoopMean) != 2 || res.Census.Total() != 200 {
+		t.Errorf("result shape wrong: %d gens, census %d", len(res.CoopMean), res.Census.Total())
+	}
+}

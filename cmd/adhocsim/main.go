@@ -1,0 +1,144 @@
+// Command adhocsim runs a one-off ad hoc network tournament with a fixed
+// (non-evolved) population mix and reports delivery rates, fitness, and
+// forwarding behavior per group — the quickest way to poke at the game
+// model without running the GA.
+//
+// Usage:
+//
+//	adhocsim -mix all-cooperate:30,trust>=1:10 -csn 10 -rounds 300
+//	adhocsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"adhocga/internal/baselines"
+	"adhocga/internal/energy"
+	"adhocga/internal/game"
+	"adhocga/internal/network"
+	"adhocga/internal/report"
+	"adhocga/internal/strategy"
+	"adhocga/internal/tournament"
+)
+
+func main() {
+	var (
+		mix        = flag.String("mix", "trust>=1:40", "comma-separated profile:count pairs (profile may also be a 13-bit strategy)")
+		csn        = flag.Int("csn", 10, "constantly selfish nodes")
+		rounds     = flag.Int("rounds", 300, "tournament rounds")
+		mode       = flag.String("mode", "SP", "path mode: SP or LP")
+		seed       = flag.Uint64("seed", 1, "seed")
+		randomPath = flag.Bool("random-path", false, "choose routes uniformly instead of by reputation")
+		showEnergy = flag.Bool("energy", false, "report radio energy spending per node class")
+		gossip     = flag.Int("gossip", 0, "exchange second-hand reputation every N rounds (0 = off)")
+		list       = flag.Bool("list", false, "list built-in profiles and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		t := report.NewTable("built-in profiles", "name", "strategy")
+		for _, p := range baselines.StandardProfiles() {
+			t.AddRow(p.Name, p.Strategy.String())
+		}
+		fmt.Print(t.Render())
+		return
+	}
+
+	groups, err := parseMix(*mix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pathMode := network.ShorterPaths()
+	if strings.EqualFold(*mode, "LP") {
+		pathMode = network.LongerPaths()
+	}
+	cfg := baselines.MixConfig{
+		Groups: groups,
+		CSN:    *csn,
+		Rounds: *rounds,
+		Mode:   pathMode,
+		Game:   game.DefaultConfig(),
+		Seed:   *seed,
+	}
+	if *randomPath {
+		cfg.PathChoice = tournament.RandomPath
+	}
+	// CORE-style gossip defaults (positive reports only, modest
+	// credibility) are applied inside RunMix when the interval is set.
+	cfg.GossipInterval = *gossip
+	var meter *energy.Meter
+	if *showEnergy {
+		var err error
+		meter, err = energy.NewMeter(energy.DefaultCosts())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Recorder = meter
+	}
+	res, err := baselines.RunMix(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("cooperation level (normal-originated delivery): %s\n", report.Percent(res.Cooperation))
+	if *csn > 0 {
+		fmt.Printf("CSN delivery rate: %s\n", report.Percent(res.CSNDelivery))
+	}
+	t := report.NewTable("\nper-group outcomes", "group", "delivery", "fitness", "forward share")
+	for _, g := range res.Groups {
+		t.AddRow(g.Name, report.Percent(g.DeliveryRate),
+			report.FormatFloat(g.Fitness), report.Percent(g.ForwardShare))
+	}
+	fmt.Print(t.Render())
+
+	if meter != nil {
+		n, s := meter.ByType()
+		et := report.NewTable("\nradio energy (arbitrary units)", "class", "nodes", "mean spent")
+		et.AddRow("normal", fmt.Sprint(n.Nodes), report.FormatFloat(n.MeanEnergy))
+		if s.Nodes > 0 {
+			et.AddRow("selfish", fmt.Sprint(s.Nodes), report.FormatFloat(s.MeanEnergy))
+		}
+		fmt.Print(et.Render())
+	}
+}
+
+// parseMix parses "name:count,name:count". A name that is not a built-in
+// profile is parsed as a 13-bit strategy string.
+func parseMix(s string) ([]baselines.Group, error) {
+	var groups []baselines.Group
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		idx := strings.LastIndex(part, ":")
+		if idx < 0 {
+			return nil, fmt.Errorf("mix entry %q is not profile:count", part)
+		}
+		name, countStr := part[:idx], part[idx+1:]
+		count, err := strconv.Atoi(countStr)
+		if err != nil {
+			return nil, fmt.Errorf("mix entry %q: bad count: %v", part, err)
+		}
+		profile, err := baselines.ProfileByName(name)
+		if err != nil {
+			st, perr := strategy.Parse(name)
+			if perr != nil {
+				return nil, fmt.Errorf("mix entry %q: not a profile (%v) nor a strategy (%v)", part, err, perr)
+			}
+			profile = baselines.Profile{Name: name, Strategy: st}
+		}
+		groups = append(groups, baselines.Group{Profile: profile, Count: count})
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("empty mix")
+	}
+	return groups, nil
+}

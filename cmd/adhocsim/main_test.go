@@ -1,0 +1,71 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseMixProfiles(t *testing.T) {
+	groups, err := parseMix("all-cooperate:10,trust>=1:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("%d groups", len(groups))
+	}
+	if groups[0].Profile.Name != "all-cooperate" || groups[0].Count != 10 {
+		t.Errorf("group 0 = %+v", groups[0])
+	}
+	if groups[1].Profile.Name != "trust>=1" || groups[1].Count != 5 {
+		t.Errorf("group 1 = %+v", groups[1])
+	}
+}
+
+func TestParseMixRawStrategy(t *testing.T) {
+	groups, err := parseMix("0101011011111:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || groups[0].Count != 3 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	if groups[0].Profile.Strategy.String() != "010 101 101 111 1" {
+		t.Errorf("strategy = %s", groups[0].Profile.Strategy)
+	}
+}
+
+func TestParseMixToleratesSpacesAndEmpties(t *testing.T) {
+	groups, err := parseMix(" all-defect:2 , ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || groups[0].Profile.Name != "all-defect" {
+		t.Errorf("groups = %+v", groups)
+	}
+}
+
+func TestParseMixErrors(t *testing.T) {
+	cases := []string{
+		"",                // empty
+		"all-cooperate",   // no count
+		"all-cooperate:x", // bad count
+		"nonsense:3",      // neither profile nor strategy
+		"01010:3",         // wrong strategy length
+	}
+	for _, s := range cases {
+		if _, err := parseMix(s); err == nil {
+			t.Errorf("parseMix(%q) succeeded, want error", s)
+		}
+	}
+}
+
+// The profile name containing ':' must still parse because we split on the
+// LAST colon.
+func TestParseMixColonInName(t *testing.T) {
+	groups, err := parseMix("trust>=2:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if groups[0].Profile.Name != "trust>=2" || groups[0].Count != 4 {
+		t.Errorf("groups = %+v", groups)
+	}
+}

@@ -1,0 +1,130 @@
+// Command evolve runs one evolutionary experiment (a single Table 4
+// evaluation case) and prints the cooperation trajectory, final strategy
+// census, and summary statistics.
+//
+// Usage:
+//
+//	evolve -case 1 -generations 100 -rounds 300 -reps 4 -seed 1
+//
+// At paper scale use -generations 500 -rounds 300 -reps 60 (slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"adhocga/internal/experiment"
+	"adhocga/internal/report"
+	"adhocga/internal/strategy"
+	"adhocga/internal/textplot"
+)
+
+func main() {
+	var (
+		caseID      = flag.Int("case", 1, "evaluation case 1-4 (Table 4)")
+		generations = flag.Int("generations", 80, "generations per replication")
+		rounds      = flag.Int("rounds", 150, "rounds per tournament")
+		reps        = flag.Int("reps", 4, "independent replications")
+		seed        = flag.Uint64("seed", 1, "master seed")
+		par         = flag.Int("par", 0, "worker pool size (0 = all cores)")
+		quiet       = flag.Bool("q", false, "suppress progress output")
+		csvPath     = flag.String("csv", "", "write the cooperation series as CSV to this file")
+		savePath    = flag.String("save", "", "write the final strategy census to this file (ungrouped strategy + share per line; strings are accepted by adhocsim -mix)")
+	)
+	flag.Parse()
+
+	c, err := experiment.CaseByID(*caseID)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sc := experiment.Scale{Name: "custom", Generations: *generations, Rounds: *rounds, Repetitions: *reps}
+	opts := experiment.Options{Seed: *seed, Parallelism: *par}
+	if !*quiet {
+		opts.OnReplicate = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rreplication %d/%d done", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	res, err := experiment.RunCase(c, sc, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	series := res.CoopMean
+	if len(c.Environments) > 1 {
+		series = res.MeanEnvCoopMean
+	}
+	chart := textplot.Chart{
+		Title: fmt.Sprintf("%s — cooperation level over %d generations (mean of %d reps)",
+			c.Name, sc.Generations, sc.Repetitions),
+		YMin: 0, YMax: 1, FixedY: true,
+	}
+	chart.AddSeries("cooperation", series)
+	fmt.Println(chart.Render())
+
+	fmt.Printf("final cooperation: %s\n", res.FinalCoop)
+	if len(c.Environments) > 1 {
+		fmt.Printf("final env-mean cooperation: %s\n", res.FinalMeanEnvCoop)
+		for _, env := range res.PerEnv {
+			fmt.Printf("  %s: coop %s  csn-free %s\n", env.Name, env.Cooperation, env.CSNFree)
+		}
+	}
+
+	top := report.NewTable("\nmost frequent final strategies", "strategy", "share", "family")
+	for _, e := range res.Census.Top(5) {
+		top.AddRow(e.Strategy.String(), report.Percent(e.Fraction), string(e.Strategy.Classify()))
+	}
+	fmt.Println(top.Render())
+	fmt.Printf("unknown-node forward share: %s\n", report.Percent(res.Census.UnknownForwardFraction()))
+	fmt.Printf("mean trust monotonicity: %s\n", report.Percent(res.Census.MeanTrustMonotonicity()))
+	fams := res.Census.CategoryCensus()
+	fmt.Print("behavioral families:")
+	for _, cat := range []strategy.Category{strategy.CategoryReciprocal, strategy.CategoryAltruist,
+		strategy.CategoryDefector, strategy.CategoryContrarian, strategy.CategoryMixed} {
+		if share := fams[cat]; share > 0 {
+			fmt.Printf("  %s %s", cat, report.Percent(share))
+		}
+	}
+	fmt.Println()
+
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("cooperation series written to %s\n", *csvPath)
+	}
+	if *savePath != "" {
+		if err := writeCensus(*savePath, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("final census written to %s\n", *savePath)
+	}
+}
+
+// writeCensus dumps every distinct final strategy with its population
+// share, most frequent first, in the ungrouped notation adhocsim accepts.
+func writeCensus(path string, res *experiment.CaseResult) error {
+	var sb strings.Builder
+	for _, e := range res.Census.Top(1 << 30) {
+		fmt.Fprintf(&sb, "%s %.6f\n", e.Strategy.Key(), e.Fraction)
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+// writeCSV dumps the per-generation cooperation series (mean and std
+// across replications).
+func writeCSV(path string, res *experiment.CaseResult) error {
+	t := report.NewTable("", "generation", "coop_mean", "coop_std", "mean_env_coop")
+	for g := range res.CoopMean {
+		t.AddRowf(g, res.CoopMean[g], res.CoopStd[g], res.MeanEnvCoopMean[g])
+	}
+	return os.WriteFile(path, []byte(t.CSV()), 0o644)
+}

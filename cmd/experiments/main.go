@@ -1,0 +1,131 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section at a chosen scale, printing paper-vs-measured tables.
+//
+// Usage:
+//
+//	experiments -scale default            # all tables, minutes
+//	experiments -scale smoke -only fig4   # quick single artifact
+//	experiments -scale paper -par 24      # the full 60-repetition run
+//	experiments -markdown > results.md
+//
+// Fig 4 needs cases 1–4; Tables 5–9 need cases 3 and 4. The harness runs
+// exactly the cases the requested artifacts need.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"adhocga/internal/experiment"
+	"adhocga/internal/report"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "default", "scale preset: smoke, default, or paper")
+		only      = flag.String("only", "all", "comma list of artifacts: fig4,table5,table6,table7,table8,table9 or all")
+		seed      = flag.Uint64("seed", 2007, "master seed")
+		par       = flag.Int("par", 0, "worker pool size (0 = all cores)")
+		markdown  = flag.Bool("markdown", false, "emit Markdown tables instead of plain text")
+		jsonPath  = flag.String("json", "", "also write raw results as JSON to this file")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	sc, err := experiment.ScaleByName(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	for _, a := range strings.Split(*only, ",") {
+		want[strings.TrimSpace(strings.ToLower(a))] = true
+	}
+	all := want["all"]
+	needCase := map[int]bool{}
+	if all || want["fig4"] {
+		needCase[1], needCase[2], needCase[3], needCase[4] = true, true, true, true
+	}
+	if all || want["table5"] || want["table6"] || want["table7"] || want["table8"] || want["table9"] {
+		needCase[3] = true
+		needCase[4] = true
+	}
+	if len(needCase) == 0 {
+		fmt.Fprintf(os.Stderr, "nothing to do for -only=%s\n", *only)
+		os.Exit(2)
+	}
+
+	results := map[int]*experiment.CaseResult{}
+	for id := 1; id <= 4; id++ {
+		if !needCase[id] {
+			continue
+		}
+		c, err := experiment.CaseByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts := experiment.Options{Seed: *seed + uint64(id), Parallelism: *par}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "running %s at scale %q (%d generations × %d reps)...\n",
+				c.Name, sc.Name, sc.Generations, sc.Repetitions)
+			opts.OnReplicate = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r  %d/%d replications", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+		res, err := experiment.RunCase(c, sc, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		results[id] = res
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := experiment.WriteJSON(f, results, 10); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	render := func(t *report.Table) string {
+		if *markdown {
+			return t.Markdown()
+		}
+		return t.Render()
+	}
+	if all || want["fig4"] {
+		fmt.Println(experiment.Fig4Chart(results))
+		fmt.Println(render(experiment.Fig4Table(results)))
+	}
+	if all || want["table5"] {
+		fmt.Println(render(experiment.Table5(results[3], results[4])))
+	}
+	if all || want["table6"] {
+		fmt.Println(render(experiment.Table6(results[3], results[4])))
+	}
+	if all || want["table7"] {
+		fmt.Println(render(experiment.Table7(results[3], results[4])))
+	}
+	if all || want["table8"] {
+		fmt.Println(render(experiment.Table8(results[3])))
+	}
+	if all || want["table9"] {
+		fmt.Println(render(experiment.Table9(results[4])))
+	}
+}

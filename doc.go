@@ -1,0 +1,25 @@
+// Package adhocga reproduces "Evolution of Strategy Driven Behavior in Ad
+// Hoc Networks Using a Genetic Algorithm" (Seredynski, Bouvry, Klopotek;
+// IPDPS Workshops 2007) as a self-contained Go library.
+//
+// The paper proposes enforcing cooperation in mobile ad hoc networks by
+// having every node run a 13-bit strategy that decides — from the packet
+// source's trust level (watchdog-style reputation) and activity level —
+// whether to forward or discard each packet. Strategies are evolved by a
+// genetic algorithm inside a game-theoretic network model.
+//
+// The package exposes three workflows:
+//
+//   - Evolve runs one evolutionary experiment and returns the cooperation
+//     trajectory and the final strategy population;
+//   - RunCase reproduces one of the paper's four evaluation cases over
+//     repeated replications at a chosen scale;
+//   - RunMix plays fixed (non-evolved) behavior mixes through the same
+//     network model for baseline comparisons.
+//
+// Implementation lives in internal/ packages (rng, bitstring, strategy,
+// trust, network, game, tournament, ga, metrics, experiment, baselines,
+// ipdrp); this package re-exports the surface a downstream user needs. See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package adhocga

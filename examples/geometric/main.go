@@ -1,0 +1,99 @@
+// Geometric: run the paper's game over an actual moving topology instead
+// of the abstract path model.
+//
+// The paper replaces radio geometry with random intermediate selection
+// ("simulates a network with a high mobility level", §4.1). This example
+// builds the thing being simulated — 50 nodes under the random-waypoint
+// model with omni-directional radios — discovers real multi-hop routes on
+// it, and shows (a) what hop-count distribution the geometry actually
+// produces compared to the paper's Table 2, and (b) that the reputation
+// mechanism still starves selfish nodes when routes come from real
+// connectivity.
+//
+// This example uses internal packages directly (it is part of the module);
+// external users would vendor the mobility package or use the abstract
+// model exposed by the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"adhocga/internal/game"
+	"adhocga/internal/mobility"
+	"adhocga/internal/network"
+	"adhocga/internal/rng"
+	"adhocga/internal/strategy"
+	"adhocga/internal/tournament"
+)
+
+func main() {
+	r := rng.New(2007)
+	const nNormal, nCSN = 40, 10
+
+	cfg := mobility.DefaultConfig(nNormal + nCSN)
+	cfg.Range = 220
+	model, err := mobility.NewModel(cfg, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	provider := mobility.NewRouteProvider(model, 0.5)
+
+	// (a) What does the geometry's hop distribution look like?
+	ids := make([]network.NodeID, nNormal+nCSN)
+	for i := range ids {
+		ids[i] = network.NodeID(i)
+	}
+	hist, misses := provider.HopHistogram(r, ids, 5000)
+	fmt.Println("hop-count distribution of discovered routes (50 nodes, 1000x1000 field, range 220):")
+	var hops []int
+	total := 0
+	for h, c := range hist {
+		hops = append(hops, h)
+		total += c
+	}
+	sort.Ints(hops)
+	for _, h := range hops {
+		fmt.Printf("  %2d hops: %5.1f%%\n", h, float64(hist[h])/float64(total)*100)
+	}
+	fmt.Printf("  unreachable lookups: %.1f%%\n", float64(misses)/float64(total+misses)*100)
+	fmt.Println("  (the paper's SP mode assumes 2 hops 20%, 3-4 hops 60%, 5-8 hops 20%)")
+
+	// (b) The game over real routes: trust-threshold normals + CSN.
+	normals := make([]*game.Player, nNormal)
+	for i := range normals {
+		normals[i] = game.NewNormal(network.NodeID(i),
+			strategy.ForwardAtOrAbove(strategy.Trust1, strategy.Forward))
+	}
+	csn := make([]*game.Player, nCSN)
+	for i := range csn {
+		csn[i] = game.NewSelfish(network.NodeID(nNormal + i))
+	}
+	all := append(append([]*game.Player{}, normals...), csn...)
+	registry := tournament.BuildRegistry(normals, csn)
+	tcfg := &tournament.Config{
+		Rounds: 300,
+		Mode:   network.ShorterPaths(), // ignored by the geometric provider
+		Game:   game.DefaultConfig(),
+	}
+	tournament.Play(all, registry, tcfg, provider, r, nil)
+
+	rate := func(ps []*game.Player) (float64, int) {
+		sent, delivered := 0, 0
+		for _, p := range ps {
+			sent += p.Acct.Sent
+			delivered += p.Acct.Delivered
+		}
+		return float64(delivered) / float64(sent), sent
+	}
+	nr, nSent := rate(normals)
+	cr, cSent := rate(csn)
+	fmt.Printf("\ngame over the geometric topology (300 rounds):\n")
+	fmt.Printf("  normal nodes:  %5.1f%% of %d packets delivered\n", nr*100, nSent)
+	fmt.Printf("  selfish nodes: %5.1f%% of %d packets delivered\n", cr*100, cSent)
+	fmt.Println("\nthe mechanism transfers, with one honest caveat the abstract model")
+	fmt.Println("hides: whenever two nodes are in direct radio contact (1 hop) no")
+	fmt.Println("intermediate can punish anyone, so the denser the network, the")
+	fmt.Println("less leverage reputation-based exclusion has over selfish nodes.")
+}

@@ -1,0 +1,97 @@
+package bitstring
+
+import "adhocga/internal/rng"
+
+// Genetic operators on bit strings. These are the mechanical pieces of §5:
+// standard one-point crossover and uniform bit-flip mutation, plus the
+// two-point and uniform variants used by the ablation benchmarks.
+
+// OnePointCrossover cuts both parents at the same point cut ∈ [1, len-1]
+// and exchanges the tails, returning two fresh children. With cut outside
+// that range the children are plain copies. Parents are not modified.
+func OnePointCrossover(a, b Bits, cut int) (Bits, Bits) {
+	if a.n != b.n {
+		panic("bitstring: crossover of unequal lengths")
+	}
+	c, d := a.Clone(), b.Clone()
+	if cut < 1 || cut >= a.n {
+		return c, d
+	}
+	for i := cut; i < a.n; i++ {
+		c.Set(i, b.Get(i))
+		d.Set(i, a.Get(i))
+	}
+	return c, d
+}
+
+// RandomOnePointCrossover performs OnePointCrossover at a uniformly random
+// cut point in [1, len-1]. Strings shorter than 2 bits are returned as
+// copies.
+func RandomOnePointCrossover(r *rng.Source, a, b Bits) (Bits, Bits) {
+	if a.n < 2 {
+		return a.Clone(), b.Clone()
+	}
+	return OnePointCrossover(a, b, r.IntRange(1, a.n-1))
+}
+
+// TwoPointCrossover exchanges the segment [lo, hi) between the parents.
+// Out-of-order or out-of-range bounds are clamped.
+func TwoPointCrossover(a, b Bits, lo, hi int) (Bits, Bits) {
+	if a.n != b.n {
+		panic("bitstring: crossover of unequal lengths")
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > a.n {
+		hi = a.n
+	}
+	c, d := a.Clone(), b.Clone()
+	for i := lo; i < hi; i++ {
+		c.Set(i, b.Get(i))
+		d.Set(i, a.Get(i))
+	}
+	return c, d
+}
+
+// RandomTwoPointCrossover picks two random cut points and exchanges the
+// middle segment.
+func RandomTwoPointCrossover(r *rng.Source, a, b Bits) (Bits, Bits) {
+	if a.n < 2 {
+		return a.Clone(), b.Clone()
+	}
+	lo := r.Intn(a.n)
+	hi := r.Intn(a.n + 1)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return TwoPointCrossover(a, b, lo, hi)
+}
+
+// UniformCrossover swaps each position independently with probability 0.5.
+func UniformCrossover(r *rng.Source, a, b Bits) (Bits, Bits) {
+	if a.n != b.n {
+		panic("bitstring: crossover of unequal lengths")
+	}
+	c, d := a.Clone(), b.Clone()
+	for i := 0; i < a.n; i++ {
+		if r.Bool(0.5) {
+			c.Set(i, b.Get(i))
+			d.Set(i, a.Get(i))
+		}
+	}
+	return c, d
+}
+
+// MutateFlip flips each bit independently with probability p, in place,
+// and returns the number of flipped bits.
+func (b Bits) MutateFlip(r *rng.Source, p float64) int {
+	flips := 0
+	for i := 0; i < b.n; i++ {
+		if r.Bool(p) {
+			b.Flip(i)
+			flips++
+		}
+	}
+	return flips
+}

@@ -1,0 +1,186 @@
+package bitstring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adhocga/internal/rng"
+)
+
+func TestOnePointCrossoverExact(t *testing.T) {
+	a := MustParse("11111")
+	b := MustParse("00000")
+	c, d := OnePointCrossover(a, b, 2)
+	if c.String() != "11000" {
+		t.Errorf("child c = %s, want 11000", c)
+	}
+	if d.String() != "00111" {
+		t.Errorf("child d = %s, want 00111", d)
+	}
+	// Parents untouched.
+	if a.String() != "11111" || b.String() != "00000" {
+		t.Error("crossover modified a parent")
+	}
+}
+
+func TestOnePointCrossoverDegenerateCut(t *testing.T) {
+	a := MustParse("101")
+	b := MustParse("010")
+	for _, cut := range []int{0, 3, -5, 100} {
+		c, d := OnePointCrossover(a, b, cut)
+		if !c.Equal(a) || !d.Equal(b) {
+			t.Errorf("cut %d: children are not parent copies", cut)
+		}
+	}
+}
+
+func TestCrossoverLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	OnePointCrossover(MustParse("10"), MustParse("101"), 1)
+}
+
+func TestTwoPointCrossoverExact(t *testing.T) {
+	a := MustParse("111111")
+	b := MustParse("000000")
+	c, d := TwoPointCrossover(a, b, 2, 4)
+	if c.String() != "110011" {
+		t.Errorf("c = %s, want 110011", c)
+	}
+	if d.String() != "001100" {
+		t.Errorf("d = %s, want 001100", d)
+	}
+}
+
+func TestTwoPointCrossoverClamps(t *testing.T) {
+	a := MustParse("1111")
+	b := MustParse("0000")
+	c, d := TwoPointCrossover(a, b, -3, 99)
+	if !c.Equal(b) || !d.Equal(a) {
+		t.Error("full-range two-point crossover should swap entire strings")
+	}
+}
+
+// Property: each child position carries one of the two parent alleles, and
+// the two children are complementary (child1[i]==a[i] iff child2[i]==b[i]).
+func TestCrossoverAlleleProperty(t *testing.T) {
+	r := rng.New(10)
+	f := func(n uint8, seed uint64) bool {
+		length := int(n)%60 + 2
+		rr := rng.New(seed)
+		a := Random(rr, length)
+		b := Random(rr, length)
+		for _, op := range []func() (Bits, Bits){
+			func() (Bits, Bits) { return RandomOnePointCrossover(r, a, b) },
+			func() (Bits, Bits) { return RandomTwoPointCrossover(r, a, b) },
+			func() (Bits, Bits) { return UniformCrossover(r, a, b) },
+		} {
+			c, d := op()
+			for i := 0; i < length; i++ {
+				fromA := c.Get(i) == a.Get(i)
+				fromB := c.Get(i) == b.Get(i)
+				if !fromA && !fromB {
+					return false
+				}
+				// Complementarity: what c took from a, d must take from b.
+				if (c.Get(i) == a.Get(i)) != (d.Get(i) == b.Get(i)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: one-point crossover conserves the total number of ones across
+// the pair.
+func TestCrossoverConservesOnesProperty(t *testing.T) {
+	r := rng.New(11)
+	f := func(seed uint64) bool {
+		rr := rng.New(seed)
+		a := Random(rr, 13)
+		b := Random(rr, 13)
+		c, d := RandomOnePointCrossover(r, a, b)
+		return a.OneCount()+b.OneCount() == c.OneCount()+d.OneCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMutateFlipZeroProbability(t *testing.T) {
+	r := rng.New(12)
+	b := Random(r, 13)
+	orig := b.Clone()
+	if flips := b.MutateFlip(r, 0); flips != 0 || !b.Equal(orig) {
+		t.Error("MutateFlip(0) changed the genome")
+	}
+}
+
+func TestMutateFlipCertainProbability(t *testing.T) {
+	r := rng.New(13)
+	b := Random(r, 13)
+	orig := b.Clone()
+	if flips := b.MutateFlip(r, 1); flips != 13 {
+		t.Errorf("MutateFlip(1) flipped %d bits, want 13", flips)
+	}
+	if b.Hamming(orig) != 13 {
+		t.Error("MutateFlip(1) did not invert every bit")
+	}
+}
+
+func TestMutateFlipRate(t *testing.T) {
+	r := rng.New(14)
+	const trials = 20000
+	const p = 0.1
+	flips := 0
+	for i := 0; i < trials; i++ {
+		b := New(13)
+		flips += b.MutateFlip(r, p)
+	}
+	got := float64(flips) / float64(trials*13)
+	if got < 0.09 || got > 0.11 {
+		t.Errorf("observed flip rate %v, want about %v", got, p)
+	}
+}
+
+// Property: MutateFlip returns exactly the Hamming distance to the
+// pre-mutation genome.
+func TestMutateFlipCountProperty(t *testing.T) {
+	r := rng.New(15)
+	f := func(seed uint64) bool {
+		rr := rng.New(seed)
+		b := Random(rr, 29)
+		before := b.Clone()
+		flips := b.MutateFlip(r, 0.3)
+		return flips == b.Hamming(before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkOnePointCrossover(b *testing.B) {
+	r := rng.New(1)
+	x := Random(r, 13)
+	y := Random(r, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = RandomOnePointCrossover(r, x, y)
+	}
+}
+
+func BenchmarkMutateFlip(b *testing.B) {
+	r := rng.New(1)
+	x := Random(r, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.MutateFlip(r, 0.001)
+	}
+}

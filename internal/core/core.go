@@ -1,0 +1,267 @@
+// Package core implements the paper's primary contribution: the evolution
+// of strategy-driven forwarding behavior. It couples the game-theoretic
+// evaluation machinery (internal/tournament) with the genetic algorithm
+// (internal/ga) into the generational loop of §5:
+//
+//	random strategies → evaluate in tournament environments → fitness by
+//	eq. 1 → tournament selection + one-point crossover + bit-flip
+//	mutation → next generation, repeated for a fixed number of
+//	generations.
+//
+// The Engine reports per-generation observables (cooperation level,
+// fitness moments, diversity) through a hook and returns the full history
+// plus the final strategy population, which the experiment harness turns
+// into the paper's figures and tables.
+package core
+
+import (
+	"fmt"
+
+	"adhocga/internal/bitstring"
+	"adhocga/internal/ga"
+	"adhocga/internal/game"
+	"adhocga/internal/metrics"
+	"adhocga/internal/network"
+	"adhocga/internal/rng"
+	"adhocga/internal/strategy"
+	"adhocga/internal/tournament"
+)
+
+// Config parameterizes one evolutionary run.
+type Config struct {
+	PopulationSize int    // N: number of normal players / strategies (paper: 100)
+	Generations    int    // paper: 500
+	Seed           uint64 // master seed; identical configs+seeds replay exactly
+	Eval           tournament.EvalConfig
+	GA             ga.Config
+
+	// OnGeneration, when non-nil, receives each generation's snapshot
+	// right after evaluation (before reproduction).
+	OnGeneration func(GenerationStats)
+
+	// Constraint, when non-nil, is applied in place to every genome as it
+	// enters the population (initialization and reproduction). It
+	// restricts the search space for ablations — e.g. forcing the three
+	// activity bits of each trust level to agree turns the 13-bit
+	// strategy into a 5-bit trust-only strategy.
+	Constraint func(bitstring.Bits)
+}
+
+// TrustOnlyConstraint collapses the activity dimension: within each trust
+// level, the MI and HI bits are overwritten by the LO bit, making the
+// strategy depend on trust alone. Used by the A2 ablation benchmark to
+// measure what the activity levels of §3.2 contribute.
+func TrustOnlyConstraint(b bitstring.Bits) {
+	for t := 0; t < strategy.NumTrustLevels; t++ {
+		base := b.Get(t * strategy.NumActivityLevels)
+		for a := 1; a < strategy.NumActivityLevels; a++ {
+			b.Set(t*strategy.NumActivityLevels+a, base)
+		}
+	}
+}
+
+// PaperConfig returns the full §6.1 parameterization for the given
+// environments and path mode: N=100, T=50, R=300, 500 generations, GA
+// probabilities 0.9/0.001. Callers scale Generations and Rounds down for
+// quick runs.
+//
+// PlaysPerEnv (the paper's unspecified L) defaults to 2: calibration showed
+// that with L=1 a sizable fraction of longer-path replicates collapse to
+// all-defection instead of reaching the cooperative quasi-equilibrium the
+// paper reports, while with L=2 every replicate reproduces the paper's
+// Table 5 values (see EXPERIMENTS.md).
+func PaperConfig(envs []tournament.Environment, mode network.PathMode, seed uint64) Config {
+	return Config{
+		PopulationSize: 100,
+		Generations:    500,
+		Seed:           seed,
+		Eval: tournament.EvalConfig{
+			TournamentSize: 50,
+			PlaysPerEnv:    2,
+			Environments:   envs,
+			Tournament: tournament.Config{
+				Rounds: 300,
+				Mode:   mode,
+				Game:   game.DefaultConfig(),
+			},
+		},
+		GA: ga.PaperConfig(),
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.PopulationSize < 2 {
+		return fmt.Errorf("core: population size %d too small", c.PopulationSize)
+	}
+	if c.Generations < 1 {
+		return fmt.Errorf("core: generations %d too small", c.Generations)
+	}
+	if err := c.Eval.Validate(c.PopulationSize); err != nil {
+		return err
+	}
+	return c.GA.Validate()
+}
+
+// GenerationStats is the per-generation snapshot handed to OnGeneration
+// and accumulated into the run history.
+type GenerationStats struct {
+	Generation int
+	// Cooperation is the overall cooperation level of the generation:
+	// delivered / originated over all normal-sourced games (§6.2).
+	Cooperation float64
+	// CoopPerEnv is the cooperation level measured independently per
+	// tournament environment (Table 5).
+	CoopPerEnv []float64
+	// MeanEnvCooperation is the unweighted mean of CoopPerEnv, the Fig 4
+	// summary number for multi-environment cases.
+	MeanEnvCooperation float64
+	Fitness            ga.PopulationStats
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// CoopSeries has one overall cooperation level per generation — the
+	// data behind one Fig 4 curve.
+	CoopSeries []float64
+	// MeanEnvCoopSeries is the per-generation unweighted environment mean.
+	MeanEnvCoopSeries []float64
+	// CoopPerEnvSeries[e][g] is environment e's cooperation level at
+	// generation g (Table 5's per-environment view over time).
+	CoopPerEnvSeries [][]float64
+	// FinalStrategies is the last generation's strategy population
+	// (Tables 7–9 are censuses of these across repetitions).
+	FinalStrategies []strategy.Strategy
+	// FinalCollector holds the last generation's full metrics (Tables 5–6).
+	FinalCollector *metrics.Collector
+	// FinalFitness is the last generation's population statistics.
+	FinalFitness ga.PopulationStats
+}
+
+// Engine runs the evolutionary loop. Create with New; each Engine is
+// single-goroutine (parallelism happens one level up, across replicate
+// runs with split RNG streams).
+type Engine struct {
+	cfg      Config
+	r        *rng.Source
+	normals  []*game.Player
+	csn      []*game.Player
+	registry []*game.Player
+	gen      *network.Generator
+	genomes  []ga.Individual
+}
+
+// New validates the configuration and builds an Engine with a random
+// initial population.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg: cfg,
+		r:   rng.New(cfg.Seed),
+		gen: network.NewGenerator(cfg.Eval.Tournament.Mode),
+	}
+	e.normals = make([]*game.Player, cfg.PopulationSize)
+	e.genomes = make([]ga.Individual, cfg.PopulationSize)
+	for i := range e.normals {
+		g := strategy.Random(e.r).Genome()
+		if cfg.Constraint != nil {
+			cfg.Constraint(g)
+		}
+		e.normals[i] = game.NewNormal(network.NodeID(i), strategy.New(g.Clone()))
+		e.genomes[i] = ga.Individual{Genome: g}
+	}
+	maxCSN := cfg.Eval.MaxCSN()
+	e.csn = make([]*game.Player, maxCSN)
+	for i := range e.csn {
+		e.csn[i] = game.NewSelfish(network.NodeID(cfg.PopulationSize + i))
+	}
+	e.registry = tournament.BuildRegistry(e.normals, e.csn)
+	return e, nil
+}
+
+// Run executes the configured number of generations and returns the run
+// history. It is deterministic for a given Config (including Seed).
+func (e *Engine) Run() (*Result, error) {
+	res := &Result{
+		CoopSeries:        make([]float64, 0, e.cfg.Generations),
+		MeanEnvCoopSeries: make([]float64, 0, e.cfg.Generations),
+		CoopPerEnvSeries:  make([][]float64, len(e.cfg.Eval.Environments)),
+	}
+	collector := metrics.NewCollector()
+
+	for gen := 0; gen < e.cfg.Generations; gen++ {
+		// Install current genomes as strategies.
+		for i, ind := range e.genomes {
+			e.normals[i].Strategy = strategy.New(ind.Genome.Clone())
+		}
+
+		collector.Reset()
+		if err := tournament.Evaluate(e.normals, e.csn, e.registry, &e.cfg.Eval, e.gen, e.r, collector); err != nil {
+			return nil, fmt.Errorf("core: generation %d: %w", gen, err)
+		}
+
+		// Fitness by eq. 1.
+		for i := range e.genomes {
+			e.genomes[i].Fitness = e.normals[i].Acct.Fitness()
+		}
+		fitStats := ga.Stats(e.genomes)
+
+		coop := collector.CooperationLevel()
+		perEnv := collector.CooperationPerEnv()
+		res.CoopSeries = append(res.CoopSeries, coop)
+		res.MeanEnvCoopSeries = append(res.MeanEnvCoopSeries, collector.MeanEnvCooperation())
+		for ei := range res.CoopPerEnvSeries {
+			v := 0.0
+			if ei < len(perEnv) {
+				v = perEnv[ei]
+			}
+			res.CoopPerEnvSeries[ei] = append(res.CoopPerEnvSeries[ei], v)
+		}
+
+		if e.cfg.OnGeneration != nil {
+			e.cfg.OnGeneration(GenerationStats{
+				Generation:         gen,
+				Cooperation:        coop,
+				CoopPerEnv:         perEnv,
+				MeanEnvCooperation: collector.MeanEnvCooperation(),
+				Fitness:            fitStats,
+			})
+		}
+
+		last := gen == e.cfg.Generations-1
+		if last {
+			res.FinalStrategies = make([]strategy.Strategy, len(e.normals))
+			for i, p := range e.normals {
+				res.FinalStrategies[i] = p.Strategy
+			}
+			res.FinalCollector = collector
+			res.FinalFitness = fitStats
+			break
+		}
+
+		// Reproduction (§5).
+		next, err := ga.NextGeneration(e.genomes, &e.cfg.GA, e.r)
+		if err != nil {
+			return nil, fmt.Errorf("core: generation %d reproduction: %w", gen, err)
+		}
+		for i := range e.genomes {
+			if e.cfg.Constraint != nil {
+				e.cfg.Constraint(next[i])
+			}
+			e.genomes[i] = ga.Individual{Genome: next[i]}
+		}
+	}
+	return res, nil
+}
+
+// Strategies returns the engine's current strategy population (a copy);
+// useful for inspecting state between manual stepping in tests.
+func (e *Engine) Strategies() []strategy.Strategy {
+	out := make([]strategy.Strategy, len(e.genomes))
+	for i, ind := range e.genomes {
+		out[i] = strategy.New(ind.Genome.Clone())
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+// Package energy quantifies the motivation of the whole paper (§1): nodes
+// defect to save battery, and "the greatest saving is done when [the]
+// wireless network interface is operating in a sleep mode", whose power
+// draw is about 98% below idle (Feeney & Nilsson, INFOCOM'01 — the paper's
+// reference [4]).
+//
+// The Meter plugs into a tournament as a Recorder and charges every
+// player for its radio activity: transmitting own packets, receiving and
+// re-transmitting forwarded ones, receiving discarded ones, and the
+// per-round cost of keeping the interface awake. Constantly selfish nodes
+// are modeled as sleeping between their own transmissions — the paper
+// notes this "will be unnoticed by other network participants".
+//
+// The resulting ledger answers the quantitative question behind the
+// dilemma: how much energy does selfishness actually save, and at what
+// delivery price once the cooperation enforcement reacts.
+package energy
+
+import (
+	"fmt"
+
+	"adhocga/internal/game"
+	"adhocga/internal/network"
+	"adhocga/internal/tournament"
+)
+
+// Costs holds radio energy costs in arbitrary units (normalized so that
+// receiving one packet costs about 1).
+type Costs struct {
+	Transmit      float64 // sending one packet (source or re-transmission)
+	Receive       float64 // receiving one packet
+	IdlePerRound  float64 // keeping the interface awake for one round
+	SleepPerRound float64 // dozing for one round
+}
+
+// DefaultCosts follows the relative magnitudes measured by Feeney and
+// Nilsson: transmit ≈ 1.9× receive, idle ≈ 0.84× receive per unit time,
+// sleep ≈ 2% of idle.
+func DefaultCosts() Costs {
+	return Costs{
+		Transmit:      1.9,
+		Receive:       1.0,
+		IdlePerRound:  0.84,
+		SleepPerRound: 0.017,
+	}
+}
+
+// Validate checks cost sanity.
+func (c Costs) Validate() error {
+	if c.Transmit < 0 || c.Receive < 0 || c.IdlePerRound < 0 || c.SleepPerRound < 0 {
+		return fmt.Errorf("energy: negative cost in %+v", c)
+	}
+	if c.SleepPerRound > c.IdlePerRound {
+		return fmt.Errorf("energy: sleep (%v) must not cost more than idle (%v)", c.SleepPerRound, c.IdlePerRound)
+	}
+	return nil
+}
+
+// Meter accumulates per-node energy spending. It implements
+// game.Recorder and tournament.RoundObserver; wire it through
+// tournament.Play. Not safe for concurrent use.
+type Meter struct {
+	costs Costs
+	spent map[network.NodeID]float64
+	types map[network.NodeID]game.NodeType
+}
+
+// NewMeter returns a Meter with the given costs.
+func NewMeter(costs Costs) (*Meter, error) {
+	if err := costs.Validate(); err != nil {
+		return nil, err
+	}
+	return &Meter{
+		costs: costs,
+		spent: make(map[network.NodeID]float64),
+		types: make(map[network.NodeID]game.NodeType),
+	}, nil
+}
+
+var (
+	_ game.Recorder            = (*Meter)(nil)
+	_ tournament.RoundObserver = (*Meter)(nil)
+)
+
+// BeginEnvironment implements tournament.Recorder's environment hook; the
+// meter keeps one ledger across environments.
+func (m *Meter) BeginEnvironment(int, tournament.Environment) {}
+
+// RecordGame charges the game's radio activity: the source transmits; each
+// intermediate that received the packet pays a receive, plus a transmit if
+// it forwarded.
+func (m *Meter) RecordGame(src *game.Player, inters []*game.Player, firstDrop int) {
+	m.types[src.ID] = src.Type
+	m.spent[src.ID] += m.costs.Transmit
+	delivered := firstDrop < 0
+	received := len(inters)
+	if !delivered {
+		received = firstDrop + 1
+	}
+	for i := 0; i < received; i++ {
+		p := inters[i]
+		m.types[p.ID] = p.Type
+		m.spent[p.ID] += m.costs.Receive
+		if delivered || i < firstDrop {
+			m.spent[p.ID] += m.costs.Transmit
+		}
+	}
+}
+
+// EndRound charges each participant's baseline draw for the round: normal
+// nodes keep the interface idle-listening, selfish nodes doze.
+func (m *Meter) EndRound(participants []*game.Player) {
+	for _, p := range participants {
+		m.types[p.ID] = p.Type
+		if p.Type == game.Selfish {
+			m.spent[p.ID] += m.costs.SleepPerRound
+		} else {
+			m.spent[p.ID] += m.costs.IdlePerRound
+		}
+	}
+}
+
+// Spent returns the energy spent by one node so far.
+func (m *Meter) Spent(id network.NodeID) float64 { return m.spent[id] }
+
+// Report summarizes energy spending for one node class.
+type Report struct {
+	Nodes       int
+	TotalEnergy float64
+	MeanEnergy  float64
+}
+
+// ByType summarizes spending split into normal and selfish nodes.
+func (m *Meter) ByType() (normal, selfish Report) {
+	for id, e := range m.spent {
+		switch m.types[id] {
+		case game.Selfish:
+			selfish.Nodes++
+			selfish.TotalEnergy += e
+		default:
+			normal.Nodes++
+			normal.TotalEnergy += e
+		}
+	}
+	if normal.Nodes > 0 {
+		normal.MeanEnergy = normal.TotalEnergy / float64(normal.Nodes)
+	}
+	if selfish.Nodes > 0 {
+		selfish.MeanEnergy = selfish.TotalEnergy / float64(selfish.Nodes)
+	}
+	return normal, selfish
+}
+
+// PerDelivered returns the mean energy spent per successfully delivered
+// own packet for the given players (infinite if none were delivered,
+// reported as 0 with ok=false).
+func (m *Meter) PerDelivered(players []*game.Player) (costPerPacket float64, ok bool) {
+	totalEnergy := 0.0
+	delivered := 0
+	for _, p := range players {
+		totalEnergy += m.spent[p.ID]
+		delivered += p.Acct.Delivered
+	}
+	if delivered == 0 {
+		return 0, false
+	}
+	return totalEnergy / float64(delivered), true
+}
+
+// Reset clears the ledger.
+func (m *Meter) Reset() {
+	clear(m.spent)
+	clear(m.types)
+}

@@ -1,0 +1,166 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"adhocga/internal/game"
+	"adhocga/internal/network"
+	"adhocga/internal/rng"
+	"adhocga/internal/strategy"
+	"adhocga/internal/tournament"
+)
+
+func meter(t *testing.T) *Meter {
+	t.Helper()
+	m, err := NewMeter(DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCostsValidate(t *testing.T) {
+	if err := DefaultCosts().Validate(); err != nil {
+		t.Fatalf("default costs invalid: %v", err)
+	}
+	bad := DefaultCosts()
+	bad.Transmit = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative cost accepted")
+	}
+	bad = DefaultCosts()
+	bad.SleepPerRound = bad.IdlePerRound + 1
+	if err := bad.Validate(); err == nil {
+		t.Error("sleep costlier than idle accepted")
+	}
+}
+
+func TestRecordGameChargesChain(t *testing.T) {
+	m := meter(t)
+	c := DefaultCosts()
+	src := game.NewNormal(0, strategy.AllForward())
+	i1 := game.NewNormal(1, strategy.AllForward())
+	i2 := game.NewNormal(2, strategy.AllForward())
+	// Delivered through both intermediates.
+	m.RecordGame(src, []*game.Player{i1, i2}, -1)
+	if got := m.Spent(0); math.Abs(got-c.Transmit) > 1e-12 {
+		t.Errorf("source spent %v, want %v", got, c.Transmit)
+	}
+	wantFwd := c.Receive + c.Transmit
+	if got := m.Spent(1); math.Abs(got-wantFwd) > 1e-12 {
+		t.Errorf("forwarder spent %v, want %v", got, wantFwd)
+	}
+	if got := m.Spent(2); math.Abs(got-wantFwd) > 1e-12 {
+		t.Errorf("last forwarder spent %v, want %v", got, wantFwd)
+	}
+}
+
+func TestRecordGameDropCheaperThanForward(t *testing.T) {
+	m := meter(t)
+	c := DefaultCosts()
+	src := game.NewNormal(0, strategy.AllForward())
+	dropper := game.NewSelfish(1)
+	after := game.NewNormal(2, strategy.AllForward())
+	m.RecordGame(src, []*game.Player{dropper, after}, 0)
+	// The dropper only received; the node after it spent nothing.
+	if got := m.Spent(1); math.Abs(got-c.Receive) > 1e-12 {
+		t.Errorf("dropper spent %v, want %v", got, c.Receive)
+	}
+	if got := m.Spent(2); got != 0 {
+		t.Errorf("unreached node spent %v", got)
+	}
+}
+
+func TestEndRoundIdleVsSleep(t *testing.T) {
+	m := meter(t)
+	c := DefaultCosts()
+	normal := game.NewNormal(0, strategy.AllForward())
+	selfish := game.NewSelfish(1)
+	for round := 0; round < 10; round++ {
+		m.EndRound([]*game.Player{normal, selfish})
+	}
+	if got := m.Spent(0); math.Abs(got-10*c.IdlePerRound) > 1e-12 {
+		t.Errorf("normal idle spend %v", got)
+	}
+	if got := m.Spent(1); math.Abs(got-10*c.SleepPerRound) > 1e-12 {
+		t.Errorf("selfish sleep spend %v", got)
+	}
+	// The 98% saving of [4].
+	if m.Spent(1) > m.Spent(0)*0.03 {
+		t.Errorf("sleeping should cost ~2%% of idling: %v vs %v", m.Spent(1), m.Spent(0))
+	}
+}
+
+func TestByTypeAndReset(t *testing.T) {
+	m := meter(t)
+	normal := game.NewNormal(0, strategy.AllForward())
+	selfish := game.NewSelfish(1)
+	m.EndRound([]*game.Player{normal, selfish})
+	n, s := m.ByType()
+	if n.Nodes != 1 || s.Nodes != 1 {
+		t.Fatalf("ByType nodes %d/%d", n.Nodes, s.Nodes)
+	}
+	if n.MeanEnergy <= s.MeanEnergy {
+		t.Error("idling normal should outspend sleeping selfish")
+	}
+	m.Reset()
+	n, s = m.ByType()
+	if n.Nodes != 0 || s.Nodes != 0 {
+		t.Error("Reset left ledger entries")
+	}
+}
+
+// Integration: a full tournament with CSN. Selfish nodes must spend far
+// less energy, and in a trust-enforcing population their energy per
+// delivered packet must be far worse — the paper's dilemma, quantified.
+func TestTournamentEnergyTradeoff(t *testing.T) {
+	r := rng.New(9)
+	const nNormal, nCSN = 40, 10
+	normals := make([]*game.Player, nNormal)
+	for i := range normals {
+		normals[i] = game.NewNormal(network.NodeID(i),
+			strategy.ForwardAtOrAbove(strategy.Trust1, strategy.Forward))
+	}
+	csn := make([]*game.Player, nCSN)
+	for i := range csn {
+		csn[i] = game.NewSelfish(network.NodeID(nNormal + i))
+	}
+	all := append(append([]*game.Player{}, normals...), csn...)
+	registry := tournament.BuildRegistry(normals, csn)
+	m := meter(t)
+	cfg := &tournament.Config{
+		Rounds: 200,
+		Mode:   network.ShorterPaths(),
+		Game:   game.DefaultConfig(),
+	}
+	gen := network.NewGenerator(cfg.Mode)
+	tournament.Play(all, registry, cfg, gen, r, m)
+
+	nRep, sRep := m.ByType()
+	if nRep.Nodes != nNormal || sRep.Nodes != nCSN {
+		t.Fatalf("ledger saw %d/%d nodes", nRep.Nodes, sRep.Nodes)
+	}
+	if sRep.MeanEnergy >= nRep.MeanEnergy/2 {
+		t.Errorf("selfishness should save most energy: selfish %v vs normal %v",
+			sRep.MeanEnergy, nRep.MeanEnergy)
+	}
+	normCost, ok := m.PerDelivered(normals)
+	if !ok {
+		t.Fatal("no normal deliveries")
+	}
+	csnCost, ok := m.PerDelivered(csn)
+	if ok && csnCost < normCost {
+		// CSN rarely deliver once trust collapses; when they do, their
+		// energy-per-delivery must not beat the cooperators'.
+		t.Errorf("CSN energy per delivered packet %v beats normal %v", csnCost, normCost)
+	}
+}
+
+func TestPerDeliveredNoDeliveries(t *testing.T) {
+	m := meter(t)
+	p := game.NewNormal(0, strategy.AllDiscard())
+	if _, ok := m.PerDelivered([]*game.Player{p}); ok {
+		t.Error("PerDelivered ok without deliveries")
+	}
+}

@@ -1,0 +1,247 @@
+// Package experiment reproduces the paper's evaluation (§6): the four
+// evaluation cases of Table 4, run over repeated replications with
+// independent seeds, aggregated into the numbers behind Fig 4 and
+// Tables 5–9.
+//
+// Replications fan out over a bounded worker pool — each replicate owns an
+// engine and a split RNG stream, so results are deterministic for a given
+// master seed regardless of the parallelism level.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"adhocga/internal/core"
+	"adhocga/internal/metrics"
+	"adhocga/internal/network"
+	"adhocga/internal/rng"
+	"adhocga/internal/stats"
+	"adhocga/internal/strategy"
+	"adhocga/internal/tournament"
+)
+
+// Scale selects how much of the paper's computational budget to spend.
+type Scale struct {
+	Name        string
+	Generations int
+	Rounds      int
+	Repetitions int
+}
+
+// The three standard scales. Paper is the full §6.1 parameterization
+// (500 generations, 300 rounds, 60 repetitions); Default reproduces the
+// qualitative shape in minutes; Smoke is for tests and benchmarks.
+var (
+	Smoke      = Scale{Name: "smoke", Generations: 25, Rounds: 300, Repetitions: 2}
+	Default    = Scale{Name: "default", Generations: 120, Rounds: 300, Repetitions: 10}
+	PaperScale = Scale{Name: "paper", Generations: 500, Rounds: 300, Repetitions: 60}
+)
+
+// ScaleByName resolves a scale preset.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "smoke":
+		return Smoke, nil
+	case "default":
+		return Default, nil
+	case "paper":
+		return PaperScale, nil
+	default:
+		return Scale{}, fmt.Errorf("experiment: unknown scale %q (want smoke, default, or paper)", name)
+	}
+}
+
+// Case is one evaluation case of Table 4.
+type Case struct {
+	ID           int
+	Name         string
+	Environments []tournament.Environment
+	Mode         network.PathMode
+}
+
+// Cases returns the four evaluation cases of Table 4:
+//
+//	case 1: the CSN-free environment TE1, shorter paths
+//	case 2: the 30-CSN environment TE4 ("60% of the population"), shorter paths
+//	case 3: all environments TE1–TE4, shorter paths
+//	case 4: all environments TE1–TE4, longer paths
+func Cases() []Case {
+	envs := tournament.PaperEnvironments()
+	return []Case{
+		{ID: 1, Name: "case 1 (TE1, SP)", Environments: envs[:1], Mode: network.ShorterPaths()},
+		{ID: 2, Name: "case 2 (TE4/30 CSN, SP)", Environments: envs[3:4], Mode: network.ShorterPaths()},
+		{ID: 3, Name: "case 3 (TE1-4, SP)", Environments: envs, Mode: network.ShorterPaths()},
+		{ID: 4, Name: "case 4 (TE1-4, LP)", Environments: envs, Mode: network.LongerPaths()},
+	}
+}
+
+// CaseByID returns the Table 4 case with the given id (1–4).
+func CaseByID(id int) (Case, error) {
+	for _, c := range Cases() {
+		if c.ID == id {
+			return c, nil
+		}
+	}
+	return Case{}, fmt.Errorf("experiment: no evaluation case %d", id)
+}
+
+// EnvSummary aggregates one environment's final-generation observables
+// across replications.
+type EnvSummary struct {
+	Name        string
+	Cooperation stats.Summary
+	CSNFree     stats.Summary
+}
+
+// CaseResult aggregates one case over all replications.
+type CaseResult struct {
+	Case  Case
+	Scale Scale
+
+	// CoopMean/CoopStd: the Fig 4 curve — overall cooperation level per
+	// generation, mean and sample standard deviation across replications.
+	CoopMean []float64
+	CoopStd  []float64
+	// MeanEnvCoopMean is the per-generation unweighted environment mean
+	// (identical to CoopMean for single-environment cases).
+	MeanEnvCoopMean []float64
+
+	// FinalCoop summarizes the last generation's overall cooperation.
+	FinalCoop stats.Summary
+	// FinalMeanEnvCoop summarizes the last generation's unweighted
+	// environment-mean cooperation (the paper's Fig 4 endpoint for the
+	// multi-environment cases).
+	FinalMeanEnvCoop stats.Summary
+
+	// PerEnv holds final-generation per-environment summaries (Table 5).
+	PerEnv []EnvSummary
+
+	// FromNormal/FromCSN are final-generation request-response counts
+	// summed over replications (Table 6).
+	FromNormal metrics.ResponseCounts
+	FromCSN    metrics.ResponseCounts
+
+	// Census pools the final strategy populations of all replications
+	// (Tables 7–9).
+	Census *strategy.Census
+}
+
+// Options tune a RunCase invocation.
+type Options struct {
+	Seed        uint64
+	Parallelism int // worker pool size; ≤0 means GOMAXPROCS
+	// OnReplicate, when non-nil, is called as each replicate finishes
+	// (from multiple goroutines) with the number completed so far.
+	OnReplicate func(done, total int)
+}
+
+// RunCase runs one evaluation case at the given scale and aggregates the
+// results. Deterministic for a fixed (case, scale, seed) regardless of
+// parallelism.
+func RunCase(c Case, sc Scale, opts Options) (*CaseResult, error) {
+	if sc.Repetitions < 1 {
+		return nil, fmt.Errorf("experiment: scale %q has %d repetitions", sc.Name, sc.Repetitions)
+	}
+	parallelism := opts.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > sc.Repetitions {
+		parallelism = sc.Repetitions
+	}
+
+	// Derive one seed per replicate up front so the fan-out order cannot
+	// affect the streams.
+	master := rng.New(opts.Seed)
+	seeds := make([]uint64, sc.Repetitions)
+	for i := range seeds {
+		seeds[i] = master.Uint64()
+	}
+
+	results := make([]*core.Result, sc.Repetitions)
+	errs := make([]error, sc.Repetitions)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallelism)
+	var done int
+	var doneMu sync.Mutex
+	for i := 0; i < sc.Repetitions; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(rep int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			cfg := core.PaperConfig(c.Environments, c.Mode, seeds[rep])
+			cfg.Generations = sc.Generations
+			cfg.Eval.Tournament.Rounds = sc.Rounds
+			engine, err := core.New(cfg)
+			if err != nil {
+				errs[rep] = err
+				return
+			}
+			results[rep], errs[rep] = engine.Run()
+			if opts.OnReplicate != nil {
+				doneMu.Lock()
+				done++
+				n := done
+				doneMu.Unlock()
+				opts.OnReplicate(n, sc.Repetitions)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return aggregate(c, sc, results), nil
+}
+
+func aggregate(c Case, sc Scale, results []*core.Result) *CaseResult {
+	out := &CaseResult{Case: c, Scale: sc, Census: strategy.NewCensus()}
+
+	var coopAcc, envMeanAcc stats.SeriesAccumulator
+	finalCoop := make([]float64, 0, len(results))
+	finalEnvMean := make([]float64, 0, len(results))
+	perEnvCoop := make([][]float64, len(c.Environments))
+	perEnvCSNFree := make([][]float64, len(c.Environments))
+
+	for _, res := range results {
+		coopAcc.AddSeries(res.CoopSeries)
+		envMeanAcc.AddSeries(res.MeanEnvCoopSeries)
+		finalCoop = append(finalCoop, res.CoopSeries[len(res.CoopSeries)-1])
+		finalEnvMean = append(finalEnvMean, res.MeanEnvCoopSeries[len(res.MeanEnvCoopSeries)-1])
+		for ei := range res.FinalCollector.Environments() {
+			if ei >= len(perEnvCoop) {
+				break
+			}
+			env := &res.FinalCollector.Environments()[ei]
+			perEnvCoop[ei] = append(perEnvCoop[ei], env.CooperationLevel())
+			perEnvCSNFree[ei] = append(perEnvCSNFree[ei], env.CSNFreeFraction())
+		}
+		out.FromNormal.Accepted += res.FinalCollector.FromNormal.Accepted
+		out.FromNormal.RejectedByNormal += res.FinalCollector.FromNormal.RejectedByNormal
+		out.FromNormal.RejectedBySelfish += res.FinalCollector.FromNormal.RejectedBySelfish
+		out.FromCSN.Accepted += res.FinalCollector.FromCSN.Accepted
+		out.FromCSN.RejectedByNormal += res.FinalCollector.FromCSN.RejectedByNormal
+		out.FromCSN.RejectedBySelfish += res.FinalCollector.FromCSN.RejectedBySelfish
+		out.Census.AddAll(res.FinalStrategies)
+	}
+
+	out.CoopMean = coopAcc.Mean()
+	out.CoopStd = coopAcc.StdDev()
+	out.MeanEnvCoopMean = envMeanAcc.Mean()
+	out.FinalCoop = stats.Summarize(finalCoop)
+	out.FinalMeanEnvCoop = stats.Summarize(finalEnvMean)
+	out.PerEnv = make([]EnvSummary, len(c.Environments))
+	for ei, env := range c.Environments {
+		out.PerEnv[ei] = EnvSummary{
+			Name:        env.Name,
+			Cooperation: stats.Summarize(perEnvCoop[ei]),
+			CSNFree:     stats.Summarize(perEnvCSNFree[ei]),
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"adhocga/internal/stats"
+)
+
+// Serialized result schema. CaseResult holds live objects (census,
+// distributions); the JSON form flattens them into plain data so runs can
+// be archived, diffed, and post-processed without the library.
+
+// CaseJSON is the serializable form of a CaseResult.
+type CaseJSON struct {
+	CaseID           int            `json:"case_id"`
+	CaseName         string         `json:"case_name"`
+	PathMode         string         `json:"path_mode"`
+	Scale            ScaleJSON      `json:"scale"`
+	CoopMean         []float64      `json:"coop_mean"`
+	CoopStd          []float64      `json:"coop_std"`
+	MeanEnvCoop      []float64      `json:"mean_env_coop"`
+	FinalCoop        SummaryJSON    `json:"final_coop"`
+	FinalMeanEnvCoop SummaryJSON    `json:"final_mean_env_coop"`
+	PerEnv           []EnvJSON      `json:"per_env"`
+	FromNormal       ResponseJSON   `json:"requests_from_normal"`
+	FromCSN          ResponseJSON   `json:"requests_from_csn"`
+	TopStrategies    []StrategyJSON `json:"top_strategies"`
+}
+
+// ScaleJSON mirrors Scale.
+type ScaleJSON struct {
+	Name        string `json:"name"`
+	Generations int    `json:"generations"`
+	Rounds      int    `json:"rounds"`
+	Repetitions int    `json:"repetitions"`
+}
+
+// SummaryJSON mirrors stats.Summary.
+type SummaryJSON struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"std_dev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+func summaryJSON(s stats.Summary) SummaryJSON {
+	return SummaryJSON{N: s.N, Mean: s.Mean, StdDev: s.StdDev, Min: s.Min, Max: s.Max}
+}
+
+// EnvJSON is one environment's final-generation summary.
+type EnvJSON struct {
+	Name        string      `json:"name"`
+	Cooperation SummaryJSON `json:"cooperation"`
+	CSNFree     SummaryJSON `json:"csn_free_paths"`
+}
+
+// ResponseJSON mirrors metrics.ResponseCounts plus derived fractions.
+type ResponseJSON struct {
+	Accepted          uint64  `json:"accepted"`
+	RejectedByNormal  uint64  `json:"rejected_by_normal"`
+	RejectedBySelfish uint64  `json:"rejected_by_selfish"`
+	AcceptedFrac      float64 `json:"accepted_frac"`
+}
+
+// StrategyJSON is one census row.
+type StrategyJSON struct {
+	Strategy string  `json:"strategy"`
+	Fraction float64 `json:"fraction"`
+}
+
+// ToJSON converts a CaseResult to its serializable form, including the
+// topK most frequent strategies.
+func (r *CaseResult) ToJSON(topK int) CaseJSON {
+	out := CaseJSON{
+		CaseID:   r.Case.ID,
+		CaseName: r.Case.Name,
+		PathMode: r.Case.Mode.Name,
+		Scale: ScaleJSON{
+			Name:        r.Scale.Name,
+			Generations: r.Scale.Generations,
+			Rounds:      r.Scale.Rounds,
+			Repetitions: r.Scale.Repetitions,
+		},
+		CoopMean:         r.CoopMean,
+		CoopStd:          r.CoopStd,
+		MeanEnvCoop:      r.MeanEnvCoopMean,
+		FinalCoop:        summaryJSON(r.FinalCoop),
+		FinalMeanEnvCoop: summaryJSON(r.FinalMeanEnvCoop),
+	}
+	for _, env := range r.PerEnv {
+		out.PerEnv = append(out.PerEnv, EnvJSON{
+			Name:        env.Name,
+			Cooperation: summaryJSON(env.Cooperation),
+			CSNFree:     summaryJSON(env.CSNFree),
+		})
+	}
+	accN, _, _ := r.FromNormal.Fractions()
+	out.FromNormal = ResponseJSON{
+		Accepted:          r.FromNormal.Accepted,
+		RejectedByNormal:  r.FromNormal.RejectedByNormal,
+		RejectedBySelfish: r.FromNormal.RejectedBySelfish,
+		AcceptedFrac:      accN,
+	}
+	accC, _, _ := r.FromCSN.Fractions()
+	out.FromCSN = ResponseJSON{
+		Accepted:          r.FromCSN.Accepted,
+		RejectedByNormal:  r.FromCSN.RejectedByNormal,
+		RejectedBySelfish: r.FromCSN.RejectedBySelfish,
+		AcceptedFrac:      accC,
+	}
+	for _, e := range r.Census.Top(topK) {
+		out.TopStrategies = append(out.TopStrategies, StrategyJSON{
+			Strategy: e.Strategy.String(),
+			Fraction: e.Fraction,
+		})
+	}
+	return out
+}
+
+// WriteJSON writes a map of case results as one indented JSON document,
+// keyed "case1".."case4" in ascending order.
+func WriteJSON(w io.Writer, results map[int]*CaseResult, topK int) error {
+	doc := make(map[string]CaseJSON, len(results))
+	for id, res := range results {
+		doc[fmt.Sprintf("case%d", id)] = res.ToJSON(topK)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"fmt"
+
+	"adhocga/internal/network"
+	"adhocga/internal/rng"
+	"adhocga/internal/stats"
+	"adhocga/internal/tournament"
+)
+
+// CSNSweep generalizes the paper's four fixed environments into a curve:
+// evolved cooperation as a function of the number of constantly selfish
+// nodes in a 50-player tournament. The paper samples this curve at 0, 10,
+// 25 and 30 (Tab 1); sweeping it densely locates where cooperation
+// collapses.
+
+// SweepPoint is one sweep sample.
+type SweepPoint struct {
+	CSN         int
+	Cooperation stats.Summary // final-generation cooperation across reps
+}
+
+// CSNSweep runs one single-environment evolution per CSN count and
+// returns the evolved cooperation level at each. Runs are sequential in
+// csnCounts but parallel across repetitions (via the same worker pattern
+// as RunCase). Deterministic for a fixed seed.
+func CSNSweep(csnCounts []int, mode network.PathMode, sc Scale, opts Options) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(csnCounts))
+	master := rng.New(opts.Seed)
+	for _, csn := range csnCounts {
+		if csn < 0 || csn >= 50 {
+			return nil, fmt.Errorf("experiment: CSN count %d outside [0,50)", csn)
+		}
+		c := Case{
+			ID:           0,
+			Name:         fmt.Sprintf("sweep CSN=%d", csn),
+			Environments: []tournament.Environment{{Name: fmt.Sprintf("CSN%d", csn), CSN: csn}},
+			Mode:         mode,
+		}
+		res, err := RunCase(c, sc, Options{
+			Seed:        master.Uint64(),
+			Parallelism: opts.Parallelism,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{CSN: csn, Cooperation: res.FinalCoop})
+	}
+	return out, nil
+}
+
+// SweepToSeries converts sweep points to an (x, y) pair of slices for
+// plotting or CSV output.
+func SweepToSeries(points []SweepPoint) (csn []float64, coop []float64) {
+	csn = make([]float64, len(points))
+	coop = make([]float64, len(points))
+	for i, p := range points {
+		csn[i] = float64(p.CSN)
+		coop[i] = p.Cooperation.Mean
+	}
+	return csn, coop
+}

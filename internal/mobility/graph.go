@@ -1,0 +1,115 @@
+package mobility
+
+// Graph is an undirected connectivity snapshot. Node IDs are model
+// indexes; nodes excluded from the snapshot simply have no edges.
+type Graph struct {
+	n   int
+	adj [][]int
+}
+
+// Len returns the number of node slots (including excluded ones).
+func (g *Graph) Len() int { return g.n }
+
+// Degree returns the number of neighbors of node i.
+func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
+
+// Adjacent reports whether i and j share an edge.
+func (g *Graph) Adjacent(i, j int) bool {
+	for _, k := range g.adj[i] {
+		if k == j {
+			return true
+		}
+	}
+	return false
+}
+
+// ShortestPath returns the minimum-hop path from src to dst (inclusive of
+// both endpoints) via breadth-first search, or nil if dst is unreachable.
+// blocked nodes (may be nil) are treated as absent; src and dst are never
+// considered blocked.
+func (g *Graph) ShortestPath(src, dst int, blocked []bool) []int {
+	if src == dst {
+		return []int{src}
+	}
+	prev := make([]int, g.n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []int{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range g.adj[cur] {
+			if prev[next] != -1 || (blocked != nil && blocked[next] && next != dst) {
+				continue
+			}
+			prev[next] = cur
+			if next == dst {
+				// Reconstruct.
+				var path []int
+				for at := dst; at != src; at = prev[at] {
+					path = append(path, at)
+				}
+				path = append(path, src)
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+// DisjointPaths returns up to k paths from src to dst whose intermediate
+// nodes are pairwise disjoint, shortest first, by repeated BFS with the
+// previous paths' intermediates removed. Returns nil if dst is
+// unreachable.
+func (g *Graph) DisjointPaths(src, dst, k int) [][]int {
+	var paths [][]int
+	blocked := make([]bool, g.n)
+	for len(paths) < k {
+		p := g.ShortestPath(src, dst, blocked)
+		if p == nil {
+			break
+		}
+		paths = append(paths, p)
+		for _, node := range p[1 : len(p)-1] {
+			blocked[node] = true
+		}
+		if len(p) == 2 {
+			// Direct edge: no intermediates to remove, and any further
+			// "path" would just repeat it.
+			break
+		}
+	}
+	return paths
+}
+
+// Reachable reports whether dst can be reached from src.
+func (g *Graph) Reachable(src, dst int) bool {
+	return g.ShortestPath(src, dst, nil) != nil
+}
+
+// ComponentSize returns the number of nodes in src's connected component
+// (counting src).
+func (g *Graph) ComponentSize(src int) int {
+	seen := make([]bool, g.n)
+	seen[src] = true
+	queue := []int{src}
+	count := 1
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range g.adj[cur] {
+			if !seen[next] {
+				seen[next] = true
+				count++
+				queue = append(queue, next)
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,205 @@
+package mobility
+
+import (
+	"testing"
+
+	"adhocga/internal/rng"
+)
+
+// line builds a path graph 0-1-2-...-n-1.
+func line(n int) *Graph {
+	g := &Graph{n: n, adj: make([][]int, n)}
+	for i := 0; i+1 < n; i++ {
+		g.adj[i] = append(g.adj[i], i+1)
+		g.adj[i+1] = append(g.adj[i+1], i)
+	}
+	return g
+}
+
+// diamond builds src=0, dst=3 with two disjoint 2-hop routes via 1 and 2.
+func diamond() *Graph {
+	g := &Graph{n: 4, adj: make([][]int, 4)}
+	add := func(a, b int) {
+		g.adj[a] = append(g.adj[a], b)
+		g.adj[b] = append(g.adj[b], a)
+	}
+	add(0, 1)
+	add(1, 3)
+	add(0, 2)
+	add(2, 3)
+	return g
+}
+
+func TestShortestPathLine(t *testing.T) {
+	g := line(5)
+	p := g.ShortestPath(0, 4, nil)
+	if len(p) != 5 {
+		t.Fatalf("path %v", p)
+	}
+	for i, node := range p {
+		if node != i {
+			t.Fatalf("path %v not the line", p)
+		}
+	}
+	if got := g.ShortestPath(2, 2, nil); len(got) != 1 || got[0] != 2 {
+		t.Errorf("self path = %v", got)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	g := &Graph{n: 4, adj: make([][]int, 4)}
+	g.adj[0] = []int{1}
+	g.adj[1] = []int{0}
+	if p := g.ShortestPath(0, 3, nil); p != nil {
+		t.Errorf("found path %v across components", p)
+	}
+	if g.Reachable(0, 3) {
+		t.Error("Reachable across components")
+	}
+	if !g.Reachable(0, 1) {
+		t.Error("adjacent nodes unreachable")
+	}
+}
+
+func TestShortestPathRespectsBlocked(t *testing.T) {
+	g := diamond()
+	blocked := make([]bool, 4)
+	blocked[1] = true
+	p := g.ShortestPath(0, 3, blocked)
+	if len(p) != 3 || p[1] != 2 {
+		t.Fatalf("blocked route not avoided: %v", p)
+	}
+	blocked[2] = true
+	if p := g.ShortestPath(0, 3, blocked); p != nil {
+		t.Errorf("path %v through fully blocked middle", p)
+	}
+}
+
+func TestShortestPathPrefersFewestHops(t *testing.T) {
+	// 0-1-3 (2 hops) and 0-2a-2b-3 (3 hops): BFS must take the short one.
+	g := &Graph{n: 5, adj: make([][]int, 5)}
+	add := func(a, b int) {
+		g.adj[a] = append(g.adj[a], b)
+		g.adj[b] = append(g.adj[b], a)
+	}
+	add(0, 1)
+	add(1, 4)
+	add(0, 2)
+	add(2, 3)
+	add(3, 4)
+	p := g.ShortestPath(0, 4, nil)
+	if len(p) != 3 {
+		t.Fatalf("got %v, want the 2-hop route", p)
+	}
+}
+
+func TestDisjointPathsDiamond(t *testing.T) {
+	g := diamond()
+	paths := g.DisjointPaths(0, 3, 3)
+	if len(paths) != 2 {
+		t.Fatalf("found %d disjoint paths, want 2: %v", len(paths), paths)
+	}
+	// Intermediates must not repeat across paths.
+	seen := map[int]bool{}
+	for _, p := range paths {
+		for _, node := range p[1 : len(p)-1] {
+			if seen[node] {
+				t.Fatalf("intermediate %d reused: %v", node, paths)
+			}
+			seen[node] = true
+		}
+	}
+}
+
+func TestDisjointPathsDirectEdge(t *testing.T) {
+	g := line(2)
+	paths := g.DisjointPaths(0, 1, 3)
+	if len(paths) != 1 || len(paths[0]) != 2 {
+		t.Fatalf("direct-edge paths = %v", paths)
+	}
+}
+
+func TestDisjointPathsUnreachable(t *testing.T) {
+	g := &Graph{n: 3, adj: make([][]int, 3)}
+	if paths := g.DisjointPaths(0, 2, 2); paths != nil {
+		t.Errorf("paths %v in empty graph", paths)
+	}
+}
+
+func TestComponentSize(t *testing.T) {
+	g := line(4)
+	if got := g.ComponentSize(0); got != 4 {
+		t.Errorf("ComponentSize = %d", got)
+	}
+	lonely := &Graph{n: 3, adj: make([][]int, 3)}
+	if got := lonely.ComponentSize(1); got != 1 {
+		t.Errorf("lonely ComponentSize = %d", got)
+	}
+}
+
+// Property-style sweep: on random geometric graphs, every shortest path is
+// valid (consecutive adjacency, no cycles) and disjoint path sets are
+// truly disjoint.
+func TestPathValidityRandomGraphs(t *testing.T) {
+	r := rng.New(8)
+	for trial := 0; trial < 50; trial++ {
+		cfg := DefaultConfig(25)
+		m, err := NewModel(cfg, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Step(r.Float64() * 100)
+		g := m.Graph(nil)
+		src, dst := r.Intn(25), r.Intn(25)
+		if src == dst {
+			continue
+		}
+		paths := g.DisjointPaths(src, dst, 3)
+		inters := map[int]bool{}
+		for _, p := range paths {
+			if p[0] != src || p[len(p)-1] != dst {
+				t.Fatalf("endpoints wrong: %v", p)
+			}
+			nodes := map[int]bool{}
+			for i := 0; i+1 < len(p); i++ {
+				if !g.Adjacent(p[i], p[i+1]) {
+					t.Fatalf("non-adjacent step %d-%d in %v", p[i], p[i+1], p)
+				}
+				if nodes[p[i]] {
+					t.Fatalf("cycle in path %v", p)
+				}
+				nodes[p[i]] = true
+			}
+			for _, node := range p[1 : len(p)-1] {
+				if inters[node] {
+					t.Fatalf("paths share intermediate %d", node)
+				}
+				inters[node] = true
+			}
+		}
+	}
+}
+
+func BenchmarkGraphSnapshot50(b *testing.B) {
+	m, err := NewModel(DefaultConfig(50), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step(1)
+		_ = m.Graph(nil)
+	}
+}
+
+func BenchmarkDisjointPaths(b *testing.B) {
+	m, err := NewModel(DefaultConfig(50), rng.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := m.Graph(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.DisjointPaths(i%50, (i+25)%50, 3)
+	}
+}

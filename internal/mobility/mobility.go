@@ -1,0 +1,214 @@
+// Package mobility implements a geometric mobile ad hoc network — nodes
+// moving on a rectangle under the random-waypoint model, with radio-range
+// connectivity and multi-hop route discovery.
+//
+// The paper deliberately abstracts topology away: "All intermediate nodes
+// are chosen randomly. This simulates a network with a high mobility
+// level" (§4.1). This package provides the thing being simulated, so the
+// abstraction can be validated: the same game and strategies can be run
+// over routes computed from an actual moving topology (see the tournament
+// PathProvider adapter in route.go and examples/geometric), and the
+// emerging hop-count distributions can be compared against Table 2.
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"adhocga/internal/rng"
+)
+
+// Point is a position on the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Config parameterizes the world and the random-waypoint model.
+type Config struct {
+	Nodes  int
+	Width  float64 // world width
+	Height float64 // world height
+	Range  float64 // radio range (omni-directional, identical for all nodes, as §3.1 assumes)
+
+	// Random-waypoint parameters: each node repeatedly picks a uniform
+	// destination, travels toward it at a uniform speed from
+	// [MinSpeed, MaxSpeed], then pauses for Pause time units.
+	MinSpeed float64
+	MaxSpeed float64
+	Pause    float64
+}
+
+// DefaultConfig returns a 50-node world sized so that typical routes span
+// a few hops: a 1000×1000 field with 250-unit radio range, speeds 1–20
+// (random-waypoint convention), no pause.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:    nodes,
+		Width:    1000,
+		Height:   1000,
+		Range:    250,
+		MinSpeed: 1,
+		MaxSpeed: 20,
+		Pause:    0,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("mobility: need at least 2 nodes, got %d", c.Nodes)
+	}
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("mobility: non-positive world dimensions %vx%v", c.Width, c.Height)
+	}
+	if c.Range <= 0 {
+		return fmt.Errorf("mobility: non-positive radio range %v", c.Range)
+	}
+	if c.MinSpeed <= 0 || c.MaxSpeed < c.MinSpeed {
+		return fmt.Errorf("mobility: speeds must satisfy 0 < min ≤ max, got [%v,%v]", c.MinSpeed, c.MaxSpeed)
+	}
+	if c.Pause < 0 {
+		return fmt.Errorf("mobility: negative pause %v", c.Pause)
+	}
+	return nil
+}
+
+type nodeState struct {
+	pos      Point
+	waypoint Point
+	speed    float64
+	pausing  float64 // remaining pause time
+}
+
+// Model is a random-waypoint mobility simulation. Not safe for concurrent
+// use.
+type Model struct {
+	cfg   Config
+	r     *rng.Source
+	nodes []nodeState
+}
+
+// NewModel creates a model with uniform initial positions and fresh
+// waypoints.
+func NewModel(cfg Config, r *rng.Source) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{cfg: cfg, r: r, nodes: make([]nodeState, cfg.Nodes)}
+	for i := range m.nodes {
+		m.nodes[i].pos = m.randomPoint()
+		m.assignWaypoint(i)
+	}
+	return m, nil
+}
+
+func (m *Model) randomPoint() Point {
+	return Point{X: m.r.Float64() * m.cfg.Width, Y: m.r.Float64() * m.cfg.Height}
+}
+
+func (m *Model) assignWaypoint(i int) {
+	n := &m.nodes[i]
+	n.waypoint = m.randomPoint()
+	n.speed = m.cfg.MinSpeed + m.r.Float64()*(m.cfg.MaxSpeed-m.cfg.MinSpeed)
+}
+
+// Len returns the number of nodes.
+func (m *Model) Len() int { return len(m.nodes) }
+
+// Position returns node i's current position.
+func (m *Model) Position(i int) Point { return m.nodes[i].pos }
+
+// Step advances the simulation by dt time units: paused nodes count down,
+// moving nodes travel toward their waypoints (picking fresh ones upon
+// arrival, after the configured pause).
+func (m *Model) Step(dt float64) {
+	for i := range m.nodes {
+		remaining := dt
+		n := &m.nodes[i]
+		for remaining > 0 {
+			if n.pausing > 0 {
+				if n.pausing >= remaining {
+					n.pausing -= remaining
+					remaining = 0
+					break
+				}
+				remaining -= n.pausing
+				n.pausing = 0
+				m.assignWaypoint(i)
+			}
+			d := n.pos.Dist(n.waypoint)
+			travel := n.speed * remaining
+			if travel < d {
+				frac := travel / d
+				n.pos.X += (n.waypoint.X - n.pos.X) * frac
+				n.pos.Y += (n.waypoint.Y - n.pos.Y) * frac
+				remaining = 0
+				break
+			}
+			// Reached the waypoint within this step.
+			if d > 0 {
+				remaining -= d / n.speed
+			}
+			n.pos = n.waypoint
+			if m.cfg.Pause > 0 {
+				n.pausing = m.cfg.Pause
+			} else {
+				m.assignWaypoint(i)
+				if n.speed <= 0 { // unreachable, but guard the loop
+					remaining = 0
+				}
+			}
+		}
+	}
+}
+
+// InRange reports whether nodes i and j can communicate directly.
+func (m *Model) InRange(i, j int) bool {
+	return i != j && m.nodes[i].pos.Dist(m.nodes[j].pos) <= m.cfg.Range
+}
+
+// Neighbors appends the IDs of all nodes within radio range of node i to
+// dst and returns it.
+func (m *Model) Neighbors(i int, dst []int) []int {
+	for j := range m.nodes {
+		if m.InRange(i, j) {
+			dst = append(dst, j)
+		}
+	}
+	return dst
+}
+
+// Graph snapshots the current connectivity as an adjacency structure
+// restricted to the given node subset (nil means all nodes). The returned
+// graph indexes nodes by their model ID.
+func (m *Model) Graph(subset []int) *Graph {
+	include := make([]bool, len(m.nodes))
+	if subset == nil {
+		for i := range include {
+			include[i] = true
+		}
+	} else {
+		for _, id := range subset {
+			include[id] = true
+		}
+	}
+	g := &Graph{n: len(m.nodes), adj: make([][]int, len(m.nodes))}
+	for i := 0; i < len(m.nodes); i++ {
+		if !include[i] {
+			continue
+		}
+		for j := i + 1; j < len(m.nodes); j++ {
+			if include[j] && m.InRange(i, j) {
+				g.adj[i] = append(g.adj[i], j)
+				g.adj[j] = append(g.adj[j], i)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,174 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"adhocga/internal/rng"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(50).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Nodes = 1 },
+		func(c *Config) { c.Width = 0 },
+		func(c *Config) { c.Height = -1 },
+		func(c *Config) { c.Range = 0 },
+		func(c *Config) { c.MinSpeed = 0 },
+		func(c *Config) { c.MaxSpeed = c.MinSpeed - 1 },
+		func(c *Config) { c.Pause = -1 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultConfig(50)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestModelStaysInBounds(t *testing.T) {
+	cfg := DefaultConfig(30)
+	m, err := NewModel(cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 500; step++ {
+		m.Step(5)
+		for i := 0; i < m.Len(); i++ {
+			p := m.Position(i)
+			if p.X < 0 || p.X > cfg.Width || p.Y < 0 || p.Y > cfg.Height {
+				t.Fatalf("node %d escaped to %+v at step %d", i, p, step)
+			}
+		}
+	}
+}
+
+func TestModelActuallyMoves(t *testing.T) {
+	m, err := NewModel(DefaultConfig(10), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]Point, m.Len())
+	for i := range before {
+		before[i] = m.Position(i)
+	}
+	m.Step(10)
+	moved := 0
+	for i := range before {
+		if before[i].Dist(m.Position(i)) > 1e-9 {
+			moved++
+		}
+	}
+	if moved < m.Len()/2 {
+		t.Errorf("only %d of %d nodes moved", moved, m.Len())
+	}
+}
+
+func TestModelSpeedBound(t *testing.T) {
+	cfg := DefaultConfig(20)
+	m, err := NewModel(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 200; step++ {
+		before := make([]Point, m.Len())
+		for i := range before {
+			before[i] = m.Position(i)
+		}
+		const dt = 2.0
+		m.Step(dt)
+		for i := range before {
+			if d := before[i].Dist(m.Position(i)); d > cfg.MaxSpeed*dt+1e-9 {
+				t.Fatalf("node %d moved %v in %v time (max speed %v)", i, d, dt, cfg.MaxSpeed)
+			}
+		}
+	}
+}
+
+func TestPauseDelaysMovement(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.Pause = 1e9 // effectively forever once a waypoint is reached
+	cfg.MinSpeed, cfg.MaxSpeed = 1e6, 1e6
+	m, err := NewModel(cfg, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With enormous speed every node reaches its first waypoint within the
+	// first step and then pauses forever.
+	m.Step(1)
+	frozen := make([]Point, m.Len())
+	for i := range frozen {
+		frozen[i] = m.Position(i)
+	}
+	m.Step(100)
+	for i := range frozen {
+		if frozen[i].Dist(m.Position(i)) > 1e-9 {
+			t.Fatalf("node %d moved while pausing", i)
+		}
+	}
+}
+
+func TestInRangeSymmetricAndIrreflexive(t *testing.T) {
+	m, err := NewModel(DefaultConfig(40), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.Len(); i++ {
+		if m.InRange(i, i) {
+			t.Fatalf("node %d in range of itself", i)
+		}
+		for j := 0; j < m.Len(); j++ {
+			if m.InRange(i, j) != m.InRange(j, i) {
+				t.Fatalf("asymmetric range between %d and %d", i, j)
+			}
+		}
+	}
+}
+
+func TestNeighborsMatchInRange(t *testing.T) {
+	m, err := NewModel(DefaultConfig(30), rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.Len(); i++ {
+		neigh := m.Neighbors(i, nil)
+		seen := map[int]bool{}
+		for _, j := range neigh {
+			seen[j] = true
+			if !m.InRange(i, j) {
+				t.Fatalf("neighbor %d of %d out of range", j, i)
+			}
+		}
+		for j := 0; j < m.Len(); j++ {
+			if m.InRange(i, j) && !seen[j] {
+				t.Fatalf("in-range node %d missing from neighbors of %d", j, i)
+			}
+		}
+	}
+}
+
+func TestGraphSubsetExcludesOthers(t *testing.T) {
+	cfg := DefaultConfig(10)
+	cfg.Range = 1e9 // fully connected
+	m, err := NewModel(cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Graph([]int{0, 1, 2})
+	if g.Degree(0) != 2 || g.Degree(5) != 0 {
+		t.Errorf("subset degrees wrong: %d, %d", g.Degree(0), g.Degree(5))
+	}
+	if !g.Adjacent(0, 1) || g.Adjacent(0, 5) {
+		t.Error("subset adjacency wrong")
+	}
+}
+
+func TestPointDist(t *testing.T) {
+	a, b := Point{0, 0}, Point{3, 4}
+	if d := a.Dist(b); math.Abs(d-5) > 1e-12 {
+		t.Errorf("Dist = %v", d)
+	}
+}

@@ -1,0 +1,112 @@
+package mobility
+
+import (
+	"fmt"
+
+	"adhocga/internal/network"
+	"adhocga/internal/rng"
+)
+
+// RouteProvider adapts a mobility Model to tournament.PathProvider: routes
+// are discovered on the current geometric topology (source-routed
+// min-hop, with node-disjoint alternates), and the model advances between
+// route lookups so topology actually changes under the game.
+//
+// NodeIDs map identically onto model indexes; every participant ID must be
+// below Model.Len(). A RouteProvider is not safe for concurrent use.
+type RouteProvider struct {
+	model *Model
+	// StepPerGame is how much simulated time passes before each route
+	// lookup; larger values mean faster topology churn per game.
+	StepPerGame float64
+	// MaxAlternates bounds the number of disjoint candidate routes
+	// presented to the source (the abstract model's Table 3 allows up to
+	// 3).
+	MaxAlternates int
+	// MaxDestinationTries bounds how many random destinations are probed
+	// before concluding the source is partitioned this round.
+	MaxDestinationTries int
+
+	dstScratch []int
+	subset     []int
+}
+
+// NewRouteProvider returns a provider with the given churn per game and up
+// to 3 alternate routes.
+func NewRouteProvider(m *Model, stepPerGame float64) *RouteProvider {
+	return &RouteProvider{
+		model:               m,
+		StepPerGame:         stepPerGame,
+		MaxAlternates:       network.MaxAlternatePaths,
+		MaxDestinationTries: 8,
+	}
+}
+
+// Candidates implements tournament.PathProvider. It advances the mobility
+// model, snapshots connectivity restricted to the participants, picks a
+// random reachable destination, and returns up to MaxAlternates
+// node-disjoint routes to it. An empty slice means the source currently
+// has no route to any probed destination.
+func (rp *RouteProvider) Candidates(r *rng.Source, src network.NodeID, participants []network.NodeID) []network.Path {
+	if int(src) >= rp.model.Len() {
+		panic(fmt.Sprintf("mobility: participant %d outside model of %d nodes", src, rp.model.Len()))
+	}
+	rp.model.Step(rp.StepPerGame)
+
+	rp.subset = rp.subset[:0]
+	rp.dstScratch = rp.dstScratch[:0]
+	for _, id := range participants {
+		if int(id) >= rp.model.Len() {
+			panic(fmt.Sprintf("mobility: participant %d outside model of %d nodes", id, rp.model.Len()))
+		}
+		rp.subset = append(rp.subset, int(id))
+		if id != src {
+			rp.dstScratch = append(rp.dstScratch, int(id))
+		}
+	}
+	g := rp.model.Graph(rp.subset)
+
+	tries := rp.MaxDestinationTries
+	if tries <= 0 || tries > len(rp.dstScratch) {
+		tries = len(rp.dstScratch)
+	}
+	// Partial shuffle: probe destinations in random order without bias.
+	for i := 0; i < tries; i++ {
+		j := i + r.Intn(len(rp.dstScratch)-i)
+		rp.dstScratch[i], rp.dstScratch[j] = rp.dstScratch[j], rp.dstScratch[i]
+		dst := rp.dstScratch[i]
+		raw := g.DisjointPaths(int(src), dst, rp.MaxAlternates)
+		if len(raw) == 0 {
+			continue
+		}
+		out := make([]network.Path, len(raw))
+		for k, p := range raw {
+			inter := make([]network.NodeID, len(p)-2)
+			for x, node := range p[1 : len(p)-1] {
+				inter[x] = network.NodeID(node)
+			}
+			out[k] = network.Path{Src: src, Dst: network.NodeID(dst), Intermediates: inter}
+		}
+		return out
+	}
+	return nil
+}
+
+// HopHistogram samples n route lookups from random sources among the
+// participants and returns the distribution of hop counts (index = hops;
+// unreachable lookups are counted in the returned misses). It is a
+// validation helper for comparing geometric topologies against the
+// paper's abstract Table 2 distributions.
+func (rp *RouteProvider) HopHistogram(r *rng.Source, participants []network.NodeID, n int) (hist map[int]int, misses int) {
+	hist = make(map[int]int)
+	for i := 0; i < n; i++ {
+		src := participants[r.Intn(len(participants))]
+		paths := rp.Candidates(r, src, participants)
+		if len(paths) == 0 {
+			misses++
+			continue
+		}
+		hist[paths[0].Hops()]++
+	}
+	return hist, misses
+}

@@ -1,0 +1,223 @@
+package mobility
+
+import (
+	"testing"
+
+	"adhocga/internal/game"
+	"adhocga/internal/network"
+	"adhocga/internal/rng"
+	"adhocga/internal/strategy"
+	"adhocga/internal/tournament"
+)
+
+func participantIDs(n int) []network.NodeID {
+	ids := make([]network.NodeID, n)
+	for i := range ids {
+		ids[i] = network.NodeID(i)
+	}
+	return ids
+}
+
+func TestRouteProviderInvariants(t *testing.T) {
+	r := rng.New(1)
+	m, err := NewModel(DefaultConfig(40), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := NewRouteProvider(m, 1)
+	ids := participantIDs(40)
+	routesSeen := 0
+	for trial := 0; trial < 500; trial++ {
+		src := network.NodeID(r.Intn(40))
+		paths := rp.Candidates(r, src, ids)
+		if len(paths) == 0 {
+			continue // partitioned this instant; allowed
+		}
+		routesSeen++
+		dst := paths[0].Dst
+		for _, p := range paths {
+			if p.Src != src || p.Dst != dst {
+				t.Fatalf("endpoints inconsistent: %+v", p)
+			}
+			if p.Dst == src {
+				t.Fatal("destination equals source")
+			}
+			seen := map[network.NodeID]bool{src: true, p.Dst: true}
+			for _, id := range p.Intermediates {
+				if seen[id] {
+					t.Fatalf("duplicate node in path %v", p)
+				}
+				seen[id] = true
+			}
+		}
+		if len(paths) > rp.MaxAlternates {
+			t.Fatalf("%d alternates exceed cap", len(paths))
+		}
+	}
+	if routesSeen == 0 {
+		t.Fatal("no routes found in 500 trials; world too sparse for the test")
+	}
+}
+
+func TestRouteProviderRespectsParticipantSubset(t *testing.T) {
+	r := rng.New(2)
+	cfg := DefaultConfig(30)
+	cfg.Range = 1e9 // fully connected so routing always succeeds
+	m, err := NewModel(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := NewRouteProvider(m, 1)
+	subset := []network.NodeID{0, 5, 7, 9, 11}
+	for trial := 0; trial < 200; trial++ {
+		paths := rp.Candidates(r, 0, subset)
+		if len(paths) == 0 {
+			t.Fatal("no route in a fully connected world")
+		}
+		for _, p := range paths {
+			members := map[network.NodeID]bool{}
+			for _, id := range subset {
+				members[id] = true
+			}
+			if !members[p.Dst] {
+				t.Fatalf("destination %d outside participant subset", p.Dst)
+			}
+			for _, id := range p.Intermediates {
+				if !members[id] {
+					t.Fatalf("intermediate %d outside participant subset", id)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteProviderPanicsOnForeignID(t *testing.T) {
+	r := rng.New(3)
+	m, err := NewModel(DefaultConfig(10), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := NewRouteProvider(m, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-model participant")
+		}
+	}()
+	rp.Candidates(r, 0, []network.NodeID{0, 99})
+}
+
+func TestRouteProviderPartitionReturnsEmpty(t *testing.T) {
+	r := rng.New(4)
+	cfg := DefaultConfig(10)
+	cfg.Range = 1e-6 // nobody can hear anybody
+	m, err := NewModel(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := NewRouteProvider(m, 0) // no movement either
+	if paths := rp.Candidates(r, 0, participantIDs(10)); len(paths) != 0 {
+		t.Errorf("found %d paths in a silent world", len(paths))
+	}
+}
+
+func TestHopHistogramDensityEffect(t *testing.T) {
+	r := rng.New(5)
+	ids := participantIDs(50)
+
+	dense := DefaultConfig(50)
+	dense.Range = 600
+	md, err := NewModel(dense, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	histD, _ := NewRouteProvider(md, 1).HopHistogram(r, ids, 2000)
+
+	sparse := DefaultConfig(50)
+	sparse.Range = 220
+	ms, err := NewModel(sparse, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	histS, _ := NewRouteProvider(ms, 1).HopHistogram(r, ids, 2000)
+
+	meanHops := func(h map[int]int) float64 {
+		total, sum := 0, 0
+		for hops, count := range h {
+			total += count
+			sum += hops * count
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(sum) / float64(total)
+	}
+	if meanHops(histD) >= meanHops(histS) {
+		t.Errorf("denser radio range should shorten routes: dense %.2f vs sparse %.2f",
+			meanHops(histD), meanHops(histS))
+	}
+}
+
+// Integration: the full game stack running over a geometric topology. The
+// reputation mechanism must still punish CSN even though routes now come
+// from real connectivity.
+func TestGeometricTournamentPunishesSelfish(t *testing.T) {
+	r := rng.New(6)
+	const nNormal, nCSN = 35, 10
+	cfg := DefaultConfig(nNormal + nCSN)
+	cfg.Range = 320
+	m, err := NewModel(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := NewRouteProvider(m, 0.5)
+
+	normals := make([]*game.Player, nNormal)
+	for i := range normals {
+		normals[i] = game.NewNormal(network.NodeID(i), strategy.ForwardAtOrAbove(strategy.Trust1, strategy.Forward))
+	}
+	csn := make([]*game.Player, nCSN)
+	for i := range csn {
+		csn[i] = game.NewSelfish(network.NodeID(nNormal + i))
+	}
+	all := append(append([]*game.Player{}, normals...), csn...)
+	registry := tournament.BuildRegistry(normals, csn)
+	tcfg := &tournament.Config{
+		Rounds: 200,
+		Mode:   network.ShorterPaths(), // unused by the provider, but required by validation elsewhere
+		Game:   game.DefaultConfig(),
+	}
+	tournament.Play(all, registry, tcfg, rp, r, nil)
+
+	rate := func(ps []*game.Player) float64 {
+		sent, delivered := 0, 0
+		for _, p := range ps {
+			sent += p.Acct.Sent
+			delivered += p.Acct.Delivered
+		}
+		if sent == 0 {
+			return 0
+		}
+		return float64(delivered) / float64(sent)
+	}
+	nr, cr := rate(normals), rate(csn)
+	if nr <= cr {
+		t.Errorf("normal delivery %.3f not above CSN delivery %.3f on geometric topology", nr, cr)
+	}
+	if nr < 0.3 {
+		t.Errorf("normal delivery %.3f suspiciously low; routing may be broken", nr)
+	}
+}
+
+func BenchmarkRouteProviderCandidates(b *testing.B) {
+	r := rng.New(1)
+	m, err := NewModel(DefaultConfig(50), r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rp := NewRouteProvider(m, 0.5)
+	ids := participantIDs(50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rp.Candidates(r, network.NodeID(i%50), ids)
+	}
+}

@@ -1,0 +1,147 @@
+package network
+
+import (
+	"fmt"
+
+	"adhocga/internal/rng"
+)
+
+// Generator produces the candidate route sets a source sees when it "plays
+// its own game" (§6.1): it samples a hop count from the mode's length
+// distribution, a number of available alternate paths from Table 3, and
+// fills each path with a random destination plus distinct random
+// intermediates drawn from the tournament participants.
+//
+// A Generator is stateful only through its scratch buffers (to keep the
+// per-game allocation count flat) and is not safe for concurrent use; each
+// tournament goroutine owns one.
+type Generator struct {
+	mode PathMode
+
+	// scratch
+	ids     []int
+	pool    []int
+	sample  []int
+	scratch []int
+	paths   []Path
+}
+
+// NewGenerator returns a Generator for the given mode.
+func NewGenerator(mode PathMode) *Generator {
+	return &Generator{mode: mode}
+}
+
+// Mode returns the generator's path mode.
+func (g *Generator) Mode() PathMode { return g.mode }
+
+// Candidates generates the set of available routes for one game: all
+// candidates share the same source, destination, and hop count, differing
+// in their intermediates. participants must contain src. The returned
+// slice and the paths' intermediate slices are owned by the Generator and
+// are valid until the next Candidates call; callers that retain paths must
+// copy them.
+//
+// If the participant set is too small for the sampled hop count, the hop
+// count is clamped to the largest feasible value (h ≤ len(participants)-1,
+// so that the destination plus h-1 distinct intermediates exist); the
+// paper's tournaments (50 players, ≤ 10 hops) never trigger the clamp.
+func (g *Generator) Candidates(r *rng.Source, src NodeID, participants []NodeID) []Path {
+	n := len(participants)
+	if n < 2 {
+		panic(fmt.Sprintf("network: need at least 2 participants, have %d", n))
+	}
+	hops := g.mode.Lengths.Sample(r)
+	// Feasibility: destination + (hops-1) intermediates, all distinct, all
+	// different from src → need n-1 ≥ hops.
+	if hops > n-1 {
+		hops = n - 1
+	}
+	count := g.mode.Alternates.Sample(r, hops)
+
+	// Destination: uniform among participants except the source.
+	others := g.ids[:0]
+	for _, id := range participants {
+		if id != src {
+			others = append(others, int(id))
+		}
+	}
+	g.ids = others
+	dst := NodeID(others[r.Intn(len(others))])
+
+	// Intermediate pool: everyone except src and dst.
+	pool := g.pool[:0]
+	for _, id := range others {
+		if NodeID(id) != dst {
+			pool = append(pool, id)
+		}
+	}
+	g.pool = pool
+
+	k := hops - 1
+	if cap(g.sample) < k {
+		g.sample = make([]int, k)
+	}
+	sample := g.sample[:k]
+
+	if cap(g.paths) < count {
+		g.paths = make([]Path, count)
+	}
+	paths := g.paths[:count]
+	for i := 0; i < count; i++ {
+		g.scratch = r.SampleWithoutReplacement(sample, pool, g.scratch)
+		inter := paths[i].Intermediates
+		if cap(inter) < k {
+			inter = make([]NodeID, k)
+		}
+		inter = inter[:k]
+		for j, v := range sample {
+			inter[j] = NodeID(v)
+		}
+		paths[i] = Path{Src: src, Dst: dst, Intermediates: inter}
+	}
+	g.paths = paths
+	return paths
+}
+
+// RatePath computes the §3.1 path rating: the product of the forwarding
+// rates of all intermediates as known to the rater. rate returns a node's
+// forwarding rate and whether the rater has data about it; unknown nodes
+// contribute the paper's default rate of 0.5.
+func RatePath(p Path, rate func(NodeID) (float64, bool)) float64 {
+	const unknownRate = 0.5
+	rating := 1.0
+	for _, id := range p.Intermediates {
+		r, known := rate(id)
+		if !known {
+			r = unknownRate
+		}
+		rating *= r
+	}
+	return rating
+}
+
+// SelectBest returns the index of the candidate with the highest rating
+// under RatePath; ties break uniformly at random (the paper does not
+// specify tie handling). It panics on an empty candidate set.
+func SelectBest(r *rng.Source, candidates []Path, rate func(NodeID) (float64, bool)) int {
+	if len(candidates) == 0 {
+		panic("network: SelectBest with no candidates")
+	}
+	bestIdx := 0
+	bestRating := RatePath(candidates[0], rate)
+	ties := 1
+	for i := 1; i < len(candidates); i++ {
+		rating := RatePath(candidates[i], rate)
+		switch {
+		case rating > bestRating:
+			bestIdx, bestRating, ties = i, rating, 1
+		case rating == bestRating:
+			// Reservoir-style uniform tie break.
+			ties++
+			if r.Intn(ties) == 0 {
+				bestIdx = i
+			}
+		}
+	}
+	return bestIdx
+}

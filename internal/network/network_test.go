@@ -1,0 +1,145 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"adhocga/internal/rng"
+)
+
+func TestPathHops(t *testing.T) {
+	p := Path{Src: 0, Dst: 4, Intermediates: []NodeID{1, 2, 3}}
+	if p.Hops() != 4 {
+		t.Errorf("Hops = %d, want 4", p.Hops())
+	}
+	direct := Path{Src: 0, Dst: 1, Intermediates: []NodeID{5}}
+	if direct.Hops() != 2 {
+		t.Errorf("2-hop path Hops = %d", direct.Hops())
+	}
+}
+
+func TestPathContains(t *testing.T) {
+	p := Path{Src: 0, Dst: 4, Intermediates: []NodeID{1, 2}}
+	if !p.Contains(1) || !p.Contains(2) {
+		t.Error("Contains missed an intermediate")
+	}
+	if p.Contains(0) || p.Contains(4) {
+		t.Error("Contains should not match src/dst")
+	}
+}
+
+func TestPathString(t *testing.T) {
+	p := Path{Src: 3, Dst: 9, Intermediates: []NodeID{7, 1}}
+	if got := p.String(); got != "3 -> 7 -> 1 -> 9" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Table 2 check: the SP and LP presets must reproduce the paper's
+// probabilities exactly.
+func TestPathLengthDistributionMatchesTable2(t *testing.T) {
+	sp := ShorterPathLengths()
+	lp := LongerPathLengths()
+	spWant := map[int]float64{2: 0.2, 3: 0.3, 4: 0.3, 5: 0.05, 6: 0.05, 7: 0.05, 8: 0.05, 9: 0, 10: 0}
+	lpWant := map[int]float64{2: 0.1, 3: 0.1, 4: 0.1, 5: 0.1, 6: 0.1, 7: 0.1, 8: 0.1, 9: 0.15, 10: 0.15}
+	for hops := MinHops; hops <= MaxHops; hops++ {
+		if got := sp.Prob(hops); math.Abs(got-spWant[hops]) > 1e-12 {
+			t.Errorf("SP Prob(%d) = %v, want %v", hops, got, spWant[hops])
+		}
+		if got := lp.Prob(hops); math.Abs(got-lpWant[hops]) > 1e-12 {
+			t.Errorf("LP Prob(%d) = %v, want %v", hops, got, lpWant[hops])
+		}
+	}
+	if sp.Prob(1) != 0 || sp.Prob(11) != 0 {
+		t.Error("out-of-range hop counts should have probability 0")
+	}
+}
+
+func TestLengthDistSampleFrequencies(t *testing.T) {
+	r := rng.New(5)
+	d := ShorterPathLengths()
+	const draws = 200000
+	counts := map[int]int{}
+	for i := 0; i < draws; i++ {
+		h := d.Sample(r)
+		if h < MinHops || h > MaxHops {
+			t.Fatalf("sampled %d hops", h)
+		}
+		counts[h]++
+	}
+	if counts[9] != 0 || counts[10] != 0 {
+		t.Errorf("SP mode sampled 9/10 hops: %d/%d times", counts[9], counts[10])
+	}
+	for hops := MinHops; hops <= 8; hops++ {
+		got := float64(counts[hops]) / draws
+		if math.Abs(got-d.Prob(hops)) > 0.005 {
+			t.Errorf("frequency of %d hops = %v, want %v", hops, got, d.Prob(hops))
+		}
+	}
+}
+
+func TestNewLengthDistValidation(t *testing.T) {
+	cases := []map[int]float64{
+		{1: 1.0},          // below MinHops
+		{11: 1.0},         // above MaxHops
+		{2: -0.5, 3: 1.5}, // negative
+		{2: 0.3, 3: 0.3},  // sums to 0.6
+		{2: 0.7, 3: 0.7},  // sums to 1.4
+	}
+	for i, probs := range cases {
+		if _, err := NewLengthDist(probs); err == nil {
+			t.Errorf("case %d: NewLengthDist(%v) succeeded, want error", i, probs)
+		}
+	}
+}
+
+// Table 3 check: the alternate-path preset matches the paper's rows.
+func TestAlternatePathDistributionMatchesTable3(t *testing.T) {
+	d := Table3Alternates()
+	rows := []struct {
+		hops []int
+		p    [3]float64
+	}{
+		{[]int{2, 3}, [3]float64{0.5, 0.3, 0.2}},
+		{[]int{4, 5, 6}, [3]float64{0.6, 0.25, 0.15}},
+		{[]int{7, 8, 9, 10}, [3]float64{0.8, 0.15, 0.05}}, // 9-10 extend the 7-8 row
+	}
+	for _, row := range rows {
+		for _, h := range row.hops {
+			for n := 1; n <= 3; n++ {
+				if got := d.Prob(h, n); math.Abs(got-row.p[n-1]) > 1e-12 {
+					t.Errorf("Prob(hops=%d, n=%d) = %v, want %v", h, n, got, row.p[n-1])
+				}
+			}
+		}
+	}
+	if d.Prob(5, 0) != 0 || d.Prob(5, 4) != 0 {
+		t.Error("out-of-range alternate counts should have probability 0")
+	}
+}
+
+func TestAlternatesSampleRange(t *testing.T) {
+	r := rng.New(6)
+	d := Table3Alternates()
+	for hops := MinHops; hops <= MaxHops; hops++ {
+		for i := 0; i < 500; i++ {
+			n := d.Sample(r, hops)
+			if n < 1 || n > MaxAlternatePaths {
+				t.Fatalf("Sample(hops=%d) = %d", hops, n)
+			}
+		}
+	}
+}
+
+func TestPathModes(t *testing.T) {
+	sp, lp := ShorterPaths(), LongerPaths()
+	if sp.Name != "SP" || lp.Name != "LP" {
+		t.Errorf("mode names = %q, %q", sp.Name, lp.Name)
+	}
+	if sp.Lengths.Prob(9) != 0 {
+		t.Error("SP mode should never pick 9 hops")
+	}
+	if math.Abs(lp.Lengths.Prob(9)-0.15) > 1e-12 {
+		t.Error("LP mode should pick 9 hops with probability 0.15")
+	}
+}

@@ -1,0 +1,187 @@
+// Package report renders experiment results as aligned text tables,
+// Markdown, and CSV. The experiment harness uses it to print tables in the
+// same row/column shape as the paper so paper-vs-measured comparison is a
+// side-by-side read.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple rectangular table with a title, a header row, and body
+// rows. Ragged rows are padded with empty cells at render time.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a body row. Cells beyond the header width are kept and
+// widen the table.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row where each cell is rendered with fmt.Sprint.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without a decimal point,
+// otherwise up to three significant decimals.
+func FormatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", v), "0"), ".")
+}
+
+// Percent renders a fraction in [0,1] as a percentage with one decimal,
+// e.g. 0.5312 → "53.1%".
+func Percent(frac float64) string {
+	return fmt.Sprintf("%.1f%%", frac*100)
+}
+
+func (t *Table) width() int {
+	w := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > w {
+			w = len(r)
+		}
+	}
+	return w
+}
+
+func (t *Table) columnWidths() []int {
+	n := t.width()
+	widths := make([]int, n)
+	for i, h := range t.Headers {
+		if len(h) > widths[i] {
+			widths[i] = len(h)
+		}
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	return widths
+}
+
+// Render returns the table as aligned plain text.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	widths := t.columnWidths()
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < len(widths); i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		// Trim trailing padding for clean diffs.
+		out := sb.String()
+		trimmed := strings.TrimRight(out, " ")
+		sb.Reset()
+		sb.WriteString(trimmed)
+		sb.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for i, w := range widths {
+			if i > 0 {
+				total += 2
+			}
+			total += w
+		}
+		sb.WriteString(strings.Repeat("-", total))
+		sb.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Markdown returns the table as a GitHub-flavored Markdown table.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "**%s**\n\n", t.Title)
+	}
+	n := t.width()
+	row := func(cells []string) {
+		sb.WriteByte('|')
+		for i := 0; i < n; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			sb.WriteString(" " + cell + " |")
+		}
+		sb.WriteByte('\n')
+	}
+	row(t.Headers)
+	sb.WriteByte('|')
+	for i := 0; i < n; i++ {
+		sb.WriteString("---|")
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return sb.String()
+}
+
+// CSV returns the table in RFC-4180-ish CSV (quotes applied only where
+// needed). The title is not included.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				sb.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

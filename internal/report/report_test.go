@@ -1,0 +1,126 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22222")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	// Column 2 should start at the same offset in all body rows.
+	idx3 := strings.Index(lines[3], "1")
+	idx4 := strings.Index(lines[4], "22222")
+	if idx3 != idx4 {
+		t.Errorf("column 2 misaligned: %d vs %d\n%s", idx3, idx4, out)
+	}
+}
+
+func TestRenderNoTitleNoHeaders(t *testing.T) {
+	tb := &Table{}
+	tb.AddRow("x", "y")
+	out := tb.Render()
+	if strings.Contains(out, "---") {
+		t.Errorf("separator printed without headers:\n%s", out)
+	}
+	if !strings.Contains(out, "x  y") {
+		t.Errorf("row missing: %q", out)
+	}
+}
+
+func TestRaggedRowsPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	out := tb.Render()
+	if !strings.Contains(out, "only") {
+		t.Errorf("ragged row lost: %q", out)
+	}
+}
+
+func TestAddRowfFormatsFloats(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRowf(5.0)
+	tb.AddRowf(0.123456)
+	tb.AddRowf(42)
+	tb.AddRowf("str")
+	if tb.Rows[0][0] != "5" {
+		t.Errorf("integer float rendered as %q", tb.Rows[0][0])
+	}
+	if tb.Rows[1][0] != "0.123" {
+		t.Errorf("fraction rendered as %q", tb.Rows[1][0])
+	}
+	if tb.Rows[2][0] != "42" {
+		t.Errorf("int rendered as %q", tb.Rows[2][0])
+	}
+	if tb.Rows[3][0] != "str" {
+		t.Errorf("string rendered as %q", tb.Rows[3][0])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1, "1"}, {0.5, "0.5"}, {0.25, "0.25"}, {1.0 / 3, "0.333"}, {-2, "-2"}, {97.0, "97"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.5312); got != "53.1%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Percent(1); got != "100.0%" {
+		t.Errorf("Percent(1) = %q", got)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := NewTable("T", "h1", "h2")
+	tb.AddRow("a", "b")
+	md := tb.Markdown()
+	if !strings.Contains(md, "**T**") {
+		t.Errorf("markdown missing title: %q", md)
+	}
+	if !strings.Contains(md, "| h1 | h2 |") {
+		t.Errorf("markdown missing header: %q", md)
+	}
+	if !strings.Contains(md, "|---|---|") {
+		t.Errorf("markdown missing separator: %q", md)
+	}
+	if !strings.Contains(md, "| a | b |") {
+		t.Errorf("markdown missing row: %q", md)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := NewTable("", "x", "y")
+	tb.AddRow(`has,comma`, `has"quote`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"has,comma"`) {
+		t.Errorf("comma cell not quoted: %q", csv)
+	}
+	if !strings.Contains(csv, `"has""quote"`) {
+		t.Errorf("quote cell not escaped: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "x,y\n") {
+		t.Errorf("csv header wrong: %q", csv)
+	}
+}

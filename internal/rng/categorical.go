@@ -1,0 +1,76 @@
+package rng
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Categorical is a fixed discrete distribution over the outcomes
+// 0..len(weights)-1. Construction validates and normalizes the weights
+// once; sampling is O(log n) via binary search on the cumulative table.
+//
+// A Categorical is immutable after construction and therefore safe to
+// share across goroutines (each goroutine still needs its own Source).
+type Categorical struct {
+	cum []float64 // strictly increasing, cum[len-1] == total
+}
+
+// NewCategorical builds a categorical distribution from non-negative
+// weights. At least one weight must be positive.
+func NewCategorical(weights []float64) (*Categorical, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("rng: categorical needs at least one weight")
+	}
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || w != w { // negative or NaN
+			return nil, fmt.Errorf("rng: categorical weight %d is invalid (%v)", i, w)
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("rng: categorical weights sum to zero")
+	}
+	return &Categorical{cum: cum}, nil
+}
+
+// MustCategorical is NewCategorical that panics on invalid weights. Use it
+// for static tables known to be correct.
+func MustCategorical(weights []float64) *Categorical {
+	c, err := NewCategorical(weights)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Len returns the number of outcomes.
+func (c *Categorical) Len() int { return len(c.cum) }
+
+// Prob returns the probability of outcome i.
+func (c *Categorical) Prob(i int) float64 {
+	total := c.cum[len(c.cum)-1]
+	if i == 0 {
+		return c.cum[0] / total
+	}
+	return (c.cum[i] - c.cum[i-1]) / total
+}
+
+// Sample draws one outcome index according to the weights.
+func (c *Categorical) Sample(s *Source) int {
+	total := c.cum[len(c.cum)-1]
+	u := s.Float64() * total
+	// First index whose cumulative weight strictly exceeds u. Zero-weight
+	// outcomes have cum[i] == cum[i-1] and can never be selected (not even
+	// at u == 0, which Float64 can return).
+	i := sort.Search(len(c.cum), func(i int) bool { return c.cum[i] > u })
+	if i == len(c.cum) { // u landed exactly on the total; take the last positive-weight outcome
+		i--
+		for i > 0 && c.cum[i] == c.cum[i-1] {
+			i--
+		}
+	}
+	return i
+}

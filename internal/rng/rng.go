@@ -1,0 +1,178 @@
+// Package rng provides a small, deterministic, splittable pseudo-random
+// number generator and the discrete distributions used by the ad hoc
+// network simulator.
+//
+// Determinism matters here: the paper's experiments are averages over 60
+// independent repetitions, and reproducing a table requires replaying the
+// exact stream of random path lengths, destinations and mutations for a
+// given seed. The standard library's math/rand/v2 is deterministic too,
+// but offers no principled way to derive independent child streams for
+// parallel replications; Source.Split fills that gap.
+//
+// The core generator is xoshiro256** seeded through SplitMix64, the
+// combination recommended by Blackman and Vigna. It is not
+// cryptographically secure and must never be used for security purposes.
+package rng
+
+import "math/bits"
+
+// Source is a deterministic pseudo-random number generator. It is NOT safe
+// for concurrent use; give each goroutine its own Source via Split.
+//
+// The zero value is invalid; use New.
+type Source struct {
+	s [4]uint64
+}
+
+// splitmix64 advances the given state and returns the next output. It is
+// used to expand seeds and to derive child streams.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from the given seed. Two Sources built from
+// the same seed produce identical streams.
+func New(seed uint64) *Source {
+	var s Source
+	s.Reseed(seed)
+	return &s
+}
+
+// Reseed resets the Source to the state it would have immediately after
+// New(seed).
+func (s *Source) Reseed(seed uint64) {
+	sm := seed
+	for i := range s.s {
+		s.s[i] = splitmix64(&sm)
+	}
+	// xoshiro must not start at the all-zero state; SplitMix64 expansion
+	// cannot produce it for any seed, but guard anyway.
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	result := bits.RotateLeft64(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = bits.RotateLeft64(s.s[3], 45)
+	return result
+}
+
+// Split derives a new Source whose future stream is statistically
+// independent from the parent's. Splitting advances the parent. It is the
+// supported way to hand generators to parallel replications: split once in
+// the coordinating goroutine, then move each child to its worker.
+func (s *Source) Split() *Source {
+	// Mix two parent outputs through SplitMix64 so that child streams do
+	// not share the parent's linear engine trajectory.
+	seed := s.Uint64()
+	mix := seed ^ bits.RotateLeft64(s.Uint64(), 31)
+	return New(splitmix64(&mix))
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniformly distributed uint64 in [0, n) using Lemire's
+// nearly-divisionless method. It panics if n == 0.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	hi, lo := bits.Mul64(s.Uint64(), n)
+	if lo < n {
+		threshold := -n % n
+		for lo < threshold {
+			hi, lo = bits.Mul64(s.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// IntRange returns a uniformly distributed int in [lo, hi] inclusive.
+// It panics if hi < lo.
+func (s *Source) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntRange called with hi < lo")
+	}
+	return lo + s.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	// 53 high bits give the standard dyadic uniform on [0,1).
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p. Values of p outside [0,1] clamp to
+// always-false / always-true.
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Shuffle randomizes the order of n elements using the Fisher-Yates
+// algorithm; swap exchanges elements i and j.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// SampleWithoutReplacement fills dst with k distinct values drawn uniformly
+// from the candidate set candidates, using a partial Fisher-Yates over a
+// scratch copy. It panics if k exceeds len(candidates).
+//
+// The scratch slice is reused if it has sufficient capacity, so callers in
+// hot loops can avoid per-call allocation by passing the previous scratch
+// back in. The returned scratch must be treated as opaque.
+func (s *Source) SampleWithoutReplacement(dst []int, candidates []int, scratch []int) []int {
+	k := len(dst)
+	n := len(candidates)
+	if k > n {
+		panic("rng: sample size exceeds candidate set")
+	}
+	if cap(scratch) < n {
+		scratch = make([]int, n)
+	}
+	scratch = scratch[:n]
+	copy(scratch, candidates)
+	for i := 0; i < k; i++ {
+		j := i + s.Intn(n-i)
+		scratch[i], scratch[j] = scratch[j], scratch[i]
+		dst[i] = scratch[i]
+	}
+	return scratch
+}

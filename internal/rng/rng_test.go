@@ -1,0 +1,315 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at step %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical outputs of 64", same)
+	}
+}
+
+func TestReseedRestartsStream(t *testing.T) {
+	s := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = s.Uint64()
+	}
+	s.Reseed(7)
+	for i := range first {
+		if got := s.Uint64(); got != first[i] {
+			t.Fatalf("after Reseed, output %d = %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	child := parent.Split()
+	// The child stream should not be a shifted copy of the parent stream.
+	parentOut := make(map[uint64]bool)
+	p2 := New(99)
+	for i := 0; i < 256; i++ {
+		parentOut[p2.Uint64()] = true
+	}
+	collisions := 0
+	for i := 0; i < 256; i++ {
+		if parentOut[child.Uint64()] {
+			collisions++
+		}
+	}
+	if collisions > 2 {
+		t.Fatalf("child stream shares %d of 256 outputs with parent prefix", collisions)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(5)
+	b := New(5)
+	ca := a.Split()
+	cb := b.Split()
+	for i := 0; i < 100; i++ {
+		if ca.Uint64() != cb.Uint64() {
+			t.Fatalf("Split is not deterministic at step %d", i)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(3)
+	for n := 1; n <= 40; n++ {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d deviates more than 5 sigma from %g", i, c, want)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	s := New(4)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := s.IntRange(3, 7)
+		if v < 3 || v > 7 {
+			t.Fatalf("IntRange(3,7) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 3; v <= 7; v++ {
+		if !seen[v] {
+			t.Errorf("IntRange(3,7) never produced %d in 1000 draws", v)
+		}
+	}
+	if got := s.IntRange(5, 5); got != 5 {
+		t.Errorf("IntRange(5,5) = %d, want 5", got)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(8)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	mean := sum / draws
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want approximately 0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(13)
+	const draws = 100000
+	for _, p := range []float64{0.0, 0.1, 0.5, 0.9, 1.0} {
+		hits := 0
+		for i := 0; i < draws; i++ {
+			if s.Bool(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / draws
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Bool(%v) frequency = %v", p, got)
+		}
+	}
+	if s.Bool(-1) {
+		t.Error("Bool(-1) returned true")
+	}
+	if !s.Bool(2) {
+		t.Error("Bool(2) returned false")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(21)
+	for n := 0; n <= 30; n++ {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleUniformFirstElement(t *testing.T) {
+	s := New(30)
+	const n, draws = 5, 50000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		a := []int{0, 1, 2, 3, 4}
+		s.Shuffle(n, func(i, j int) { a[i], a[j] = a[j], a[i] })
+		counts[a[0]]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("value %d landed first %d times, want about %g", i, c, want)
+		}
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	s := New(17)
+	candidates := []int{10, 20, 30, 40, 50, 60}
+	dst := make([]int, 4)
+	var scratch []int
+	for iter := 0; iter < 500; iter++ {
+		scratch = s.SampleWithoutReplacement(dst, candidates, scratch)
+		seen := make(map[int]bool)
+		for _, v := range dst {
+			found := false
+			for _, c := range candidates {
+				if c == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("sampled %d not in candidate set", v)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate %d in sample %v", v, dst)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleWithoutReplacementFull(t *testing.T) {
+	s := New(18)
+	candidates := []int{1, 2, 3}
+	dst := make([]int, 3)
+	s.SampleWithoutReplacement(dst, candidates, nil)
+	sum := dst[0] + dst[1] + dst[2]
+	if sum != 6 {
+		t.Fatalf("full sample %v is not a permutation of candidates", dst)
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized sample did not panic")
+		}
+	}()
+	New(1).SampleWithoutReplacement(make([]int, 4), []int{1, 2, 3}, nil)
+}
+
+// Property: Uint64n(n) < n for all n > 0.
+func TestUint64nProperty(t *testing.T) {
+	s := New(77)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return s.Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: two sources with the same seed agree on arbitrary-length prefixes.
+func TestSeedPrefixProperty(t *testing.T) {
+	f := func(seed uint64, steps uint8) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < int(steps); i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	s := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = s.Intn(50)
+	}
+	_ = sink
+}
+
+func BenchmarkSampleWithoutReplacement(b *testing.B) {
+	s := New(1)
+	candidates := make([]int, 50)
+	for i := range candidates {
+		candidates[i] = i
+	}
+	dst := make([]int, 9)
+	var scratch []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = s.SampleWithoutReplacement(dst, candidates, scratch)
+	}
+}

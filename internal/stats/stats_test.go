@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) is not NaN")
+	}
+	if got := Mean([]float64{7}); got != 7 {
+		t.Errorf("Mean single = %v", got)
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !approx(got, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+	if got := StdDev(xs); !approx(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of one sample is not NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v,%v", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MinMax(empty) did not panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !approx(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.5); !approx(got, 5, 1e-12) {
+		t.Errorf("interpolated median = %v, want 5", got)
+	}
+	// Input must not be reordered.
+	orig := []float64{5, 1, 3}
+	Quantile(orig, 0.5)
+	if orig[0] != 5 || orig[1] != 1 || orig[2] != 3 {
+		t.Error("Quantile reordered its input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, q := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(%v) did not panic", q)
+				}
+			}()
+			Quantile([]float64{1}, q)
+		}()
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{9, 1, 5}); got != 5 {
+		t.Errorf("Median = %v, want 5", got)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if got := CI95HalfWidth([]float64{5}); got != 0 {
+		t.Errorf("CI of single sample = %v, want 0", got)
+	}
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	want := 1.96 * StdDev(xs) / math.Sqrt(10)
+	if got := CI95HalfWidth(xs); !approx(got, want, 1e-12) {
+		t.Errorf("CI95 = %v, want %v", got, want)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("Summary.String is empty")
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Mean) {
+		t.Errorf("empty Summary = %+v", empty)
+	}
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	if !approx(r.Mean(), Mean(xs), 1e-12) {
+		t.Errorf("running mean %v != batch %v", r.Mean(), Mean(xs))
+	}
+	if !approx(r.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("running variance %v != batch %v", r.Variance(), Variance(xs))
+	}
+	lo, hi := MinMax(xs)
+	if r.Min() != lo || r.Max() != hi {
+		t.Errorf("running min/max %v/%v != %v/%v", r.Min(), r.Max(), lo, hi)
+	}
+	if r.N() != len(xs) {
+		t.Errorf("N = %d", r.N())
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if !math.IsNaN(r.Mean()) || !math.IsNaN(r.Variance()) || !math.IsNaN(r.Min()) {
+		t.Error("empty Running should return NaN moments")
+	}
+}
+
+// Property: Running agrees with the batch mean for arbitrary samples.
+func TestRunningProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var r Running
+		for i, v := range raw {
+			xs[i] = float64(v)
+			r.Add(xs[i])
+		}
+		if !approx(r.Mean(), Mean(xs), 1e-6) {
+			return false
+		}
+		if len(xs) > 1 && !approx(r.Variance(), Variance(xs), 1e-4) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeriesAccumulator(t *testing.T) {
+	var a SeriesAccumulator
+	a.AddSeries([]float64{1, 2, 3})
+	a.AddSeries([]float64{3, 4, 5})
+	mean := a.Mean()
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if mean[i] != want[i] {
+			t.Errorf("mean[%d] = %v, want %v", i, mean[i], want[i])
+		}
+	}
+	if a.Len() != 3 {
+		t.Errorf("Len = %d", a.Len())
+	}
+	sd := a.StdDev()
+	if !approx(sd[0], math.Sqrt(2), 1e-12) {
+		t.Errorf("sd[0] = %v", sd[0])
+	}
+}
+
+func TestSeriesAccumulatorRagged(t *testing.T) {
+	var a SeriesAccumulator
+	a.AddSeries([]float64{1, 1})
+	a.AddSeries([]float64{3, 3, 3})
+	mean := a.Mean()
+	if len(mean) != 3 {
+		t.Fatalf("ragged accumulator length %d, want 3", len(mean))
+	}
+	if mean[0] != 2 || mean[1] != 2 || mean[2] != 3 {
+		t.Errorf("ragged mean = %v", mean)
+	}
+}
+
+func BenchmarkRunningAdd(b *testing.B) {
+	var r Running
+	for i := 0; i < b.N; i++ {
+		r.Add(float64(i % 100))
+	}
+}

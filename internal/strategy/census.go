@@ -1,0 +1,130 @@
+package strategy
+
+import "sort"
+
+// Census counts strategy occurrences across one or more final populations.
+// The paper's Table 7 ("five most popular strategies") and Tables 8–9
+// (sub-strategy distributions per trust level, filtered at 3%) are both
+// views of a census.
+type Census struct {
+	counts map[string]int
+	total  int
+}
+
+// NewCensus returns an empty census.
+func NewCensus() *Census {
+	return &Census{counts: make(map[string]int)}
+}
+
+// Add records one strategy occurrence.
+func (c *Census) Add(s Strategy) {
+	c.counts[s.Key()]++
+	c.total++
+}
+
+// AddAll records every strategy in the slice.
+func (c *Census) AddAll(ss []Strategy) {
+	for _, s := range ss {
+		c.Add(s)
+	}
+}
+
+// Total returns the number of occurrences recorded.
+func (c *Census) Total() int { return c.total }
+
+// Distinct returns the number of distinct strategies recorded.
+func (c *Census) Distinct() int { return len(c.counts) }
+
+// Entry is one census row: a strategy, its occurrence count, and its
+// frequency among all recorded occurrences.
+type Entry struct {
+	Strategy Strategy
+	Count    int
+	Fraction float64
+}
+
+// Top returns the k most frequent strategies, most frequent first. Ties
+// break by key so the output is deterministic.
+func (c *Census) Top(k int) []Entry {
+	entries := make([]Entry, 0, len(c.counts))
+	for key, n := range c.counts {
+		entries = append(entries, Entry{
+			Strategy: MustParse(key),
+			Count:    n,
+			Fraction: float64(n) / float64(c.total),
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].Strategy.Key() < entries[j].Strategy.Key()
+	})
+	if k < len(entries) {
+		entries = entries[:k]
+	}
+	return entries
+}
+
+// SubEntry is one row of a sub-strategy distribution: the 3-bit pattern for
+// a single trust level and its frequency.
+type SubEntry struct {
+	Pattern  string // e.g. "111"
+	Count    int
+	Fraction float64
+}
+
+// SubStrategies returns the distribution of 3-bit sub-strategies at the
+// given trust level, most frequent first, dropping patterns whose
+// frequency is below minFraction (the paper uses 0.03). Ties break by
+// pattern for determinism.
+func (c *Census) SubStrategies(t TrustLevel, minFraction float64) []SubEntry {
+	sub := make(map[string]int)
+	for key, n := range c.counts {
+		sub[MustParse(key).SubStrategy(t)] += n
+	}
+	out := make([]SubEntry, 0, len(sub))
+	for pattern, n := range sub {
+		frac := float64(n) / float64(c.total)
+		if frac < minFraction {
+			continue
+		}
+		out = append(out, SubEntry{Pattern: pattern, Count: n, Fraction: frac})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Pattern < out[j].Pattern
+	})
+	return out
+}
+
+// UnknownForwardFraction returns the fraction of recorded strategies whose
+// unknown-node decision is Forward — the property the paper highlights in
+// §6.3 ("new nodes can easily join the network").
+func (c *Census) UnknownForwardFraction() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	fwd := 0
+	for key, n := range c.counts {
+		if MustParse(key).DecideUnknown() == Forward {
+			fwd += n
+		}
+	}
+	return float64(fwd) / float64(c.total)
+}
+
+// MeanCooperativeness returns the occurrence-weighted mean fraction of
+// Forward bits across the census.
+func (c *Census) MeanCooperativeness() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	sum := 0.0
+	for key, n := range c.counts {
+		sum += MustParse(key).Cooperativeness() * float64(n)
+	}
+	return sum / float64(c.total)
+}

@@ -1,0 +1,131 @@
+package strategy
+
+import (
+	"math"
+	"testing"
+
+	"adhocga/internal/rng"
+)
+
+func TestCensusTop(t *testing.T) {
+	c := NewCensus()
+	a := MustParse("000 111 111 111 1")
+	b := MustParse("010 101 101 111 1")
+	for i := 0; i < 3; i++ {
+		c.Add(a)
+	}
+	c.Add(b)
+	if c.Total() != 4 || c.Distinct() != 2 {
+		t.Fatalf("Total=%d Distinct=%d", c.Total(), c.Distinct())
+	}
+	top := c.Top(5)
+	if len(top) != 2 {
+		t.Fatalf("Top(5) returned %d entries", len(top))
+	}
+	if !top[0].Strategy.Equal(a) || top[0].Count != 3 {
+		t.Errorf("top entry = %v ×%d", top[0].Strategy, top[0].Count)
+	}
+	if math.Abs(top[0].Fraction-0.75) > 1e-12 {
+		t.Errorf("top fraction = %v", top[0].Fraction)
+	}
+	// k smaller than distinct count truncates.
+	if got := c.Top(1); len(got) != 1 {
+		t.Errorf("Top(1) returned %d entries", len(got))
+	}
+}
+
+func TestCensusTopDeterministicTieBreak(t *testing.T) {
+	c := NewCensus()
+	c.Add(MustParse("1111111111111"))
+	c.Add(MustParse("0000000000000"))
+	top := c.Top(2)
+	if top[0].Strategy.Key() != "0000000000000" {
+		t.Errorf("tie break should order by key; got %s first", top[0].Strategy.Key())
+	}
+}
+
+func TestCensusSubStrategies(t *testing.T) {
+	c := NewCensus()
+	// 7 strategies with trust3 = 111, 3 with trust3 = 000.
+	for i := 0; i < 7; i++ {
+		c.Add(MustParse("000 000 000 111 1"))
+	}
+	for i := 0; i < 3; i++ {
+		c.Add(MustParse("000 000 000 000 1"))
+	}
+	subs := c.SubStrategies(Trust3, 0)
+	if len(subs) != 2 {
+		t.Fatalf("got %d sub-strategies", len(subs))
+	}
+	if subs[0].Pattern != "111" || math.Abs(subs[0].Fraction-0.7) > 1e-12 {
+		t.Errorf("dominant sub-strategy = %+v", subs[0])
+	}
+	// The 3% filter of the paper removes rare patterns.
+	filtered := c.SubStrategies(Trust3, 0.5)
+	if len(filtered) != 1 || filtered[0].Pattern != "111" {
+		t.Errorf("filtered = %+v", filtered)
+	}
+}
+
+func TestCensusUnknownForwardFraction(t *testing.T) {
+	c := NewCensus()
+	c.Add(MustParse("000 000 000 000 1"))
+	c.Add(MustParse("000 000 000 000 1"))
+	c.Add(MustParse("000 000 000 000 0"))
+	if got := c.UnknownForwardFraction(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("UnknownForwardFraction = %v", got)
+	}
+	if NewCensus().UnknownForwardFraction() != 0 {
+		t.Error("empty census should return 0")
+	}
+}
+
+func TestCensusMeanCooperativeness(t *testing.T) {
+	c := NewCensus()
+	c.Add(AllForward())
+	c.Add(AllDiscard())
+	if got := c.MeanCooperativeness(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MeanCooperativeness = %v, want 0.5", got)
+	}
+	if NewCensus().MeanCooperativeness() != 0 {
+		t.Error("empty census should return 0")
+	}
+}
+
+func TestCensusAddAll(t *testing.T) {
+	r := rng.New(1)
+	ss := make([]Strategy, 50)
+	for i := range ss {
+		ss[i] = Random(r)
+	}
+	c := NewCensus()
+	c.AddAll(ss)
+	if c.Total() != 50 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	// Fractions across Top(all) must sum to 1.
+	sum := 0.0
+	for _, e := range c.Top(1 << 20) {
+		sum += e.Fraction
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+}
+
+func TestCensusSubStrategyFractionsSum(t *testing.T) {
+	r := rng.New(2)
+	c := NewCensus()
+	for i := 0; i < 200; i++ {
+		c.Add(Random(r))
+	}
+	for tl := TrustLevel(0); tl < NumTrustLevels; tl++ {
+		sum := 0.0
+		for _, e := range c.SubStrategies(tl, 0) {
+			sum += e.Fraction
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("trust %d sub-strategy fractions sum to %v", tl, sum)
+		}
+	}
+}

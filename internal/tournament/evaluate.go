@@ -1,0 +1,183 @@
+package tournament
+
+import (
+	"fmt"
+
+	"adhocga/internal/game"
+	"adhocga/internal/network"
+	"adhocga/internal/rng"
+)
+
+// EvalConfig parameterizes one evaluation pass over a population: the
+// Fig 3 scheme, in which every normal player plays L times in each of a
+// series of tournament environments.
+type EvalConfig struct {
+	TournamentSize int // T: players per tournament (paper: 50)
+	PlaysPerEnv    int // L: times each normal player plays per environment (paper leaves it open; default 1)
+	Environments   []Environment
+	Tournament     Config
+}
+
+// Validate checks the evaluation configuration against a population of the
+// given size.
+func (c *EvalConfig) Validate(populationSize int) error {
+	if c.TournamentSize < 2 {
+		return fmt.Errorf("tournament: size %d too small", c.TournamentSize)
+	}
+	if c.PlaysPerEnv < 1 {
+		return fmt.Errorf("tournament: plays per environment must be ≥ 1, got %d", c.PlaysPerEnv)
+	}
+	if len(c.Environments) == 0 {
+		return fmt.Errorf("tournament: no environments")
+	}
+	for _, env := range c.Environments {
+		if env.CSN < 0 || env.CSN >= c.TournamentSize {
+			return fmt.Errorf("tournament: environment %s has %d CSN with size %d", env.Name, env.CSN, c.TournamentSize)
+		}
+		if normals := c.TournamentSize - env.CSN; normals > populationSize {
+			return fmt.Errorf("tournament: environment %s needs %d normal players, population has %d", env.Name, normals, populationSize)
+		}
+	}
+	return c.Tournament.Validate()
+}
+
+// MaxCSN returns the largest CSN count over the environments.
+func (c *EvalConfig) MaxCSN() int {
+	max := 0
+	for _, env := range c.Environments {
+		if env.CSN > max {
+			max = env.CSN
+		}
+	}
+	return max
+}
+
+// Evaluate runs the Fig 3 evaluation scheme for one generation:
+//
+//  1. Clear reputation memory and payoff accounts of every player.
+//  2. For each environment i: repeatedly draw Pi = T−Si players uniformly
+//     among those that have played fewer than L times (topping up from
+//     already-played players when fewer than Pi remain), add Si CSN, and
+//     play a tournament — until every normal player has played L times.
+//
+// Reputation memory deliberately persists across environments within the
+// pass; only the generation boundary clears it (§4.4 step 1).
+//
+// normals is the evolving population; csn is a pool of at least MaxCSN()
+// selfish players; registry maps NodeID → player for everyone. provider
+// supplies candidate routes (normally a network.Generator for the
+// evaluation's path mode); rec may be nil.
+func Evaluate(normals, csn []*game.Player, registry []*game.Player, cfg *EvalConfig, provider PathProvider, r *rng.Source, rec Recorder) error {
+	if err := cfg.Validate(len(normals)); err != nil {
+		return err
+	}
+	if cfg.MaxCSN() > len(csn) {
+		return fmt.Errorf("tournament: need %d CSN, pool has %d", cfg.MaxCSN(), len(csn))
+	}
+
+	// Step 1: clear all memories and accounts.
+	for _, p := range normals {
+		p.ResetForGeneration()
+	}
+	for _, p := range csn {
+		p.ResetForGeneration()
+	}
+
+	plays := make([]int, len(normals))
+	unplayed := make([]int, 0, len(normals))
+	played := make([]int, 0, len(normals))
+	participants := make([]*game.Player, 0, cfg.TournamentSize)
+	var pick, scratch []int
+
+	for envIdx, env := range cfg.Environments {
+		if rec != nil {
+			rec.BeginEnvironment(envIdx, env)
+		}
+		pi := cfg.TournamentSize - env.CSN
+		for i := range plays {
+			plays[i] = 0
+		}
+		for {
+			// Partition the population by whether it still owes plays.
+			unplayed = unplayed[:0]
+			played = played[:0]
+			for i, n := range plays {
+				if n < cfg.PlaysPerEnv {
+					unplayed = append(unplayed, i)
+				} else {
+					played = append(played, i)
+				}
+			}
+			if len(unplayed) == 0 {
+				break
+			}
+			participants = participants[:0]
+			if len(unplayed) >= pi {
+				// Step 2: Pi uniform picks among the unplayed.
+				if cap(pick) < pi {
+					pick = make([]int, pi)
+				}
+				pick = pick[:pi]
+				scratch = r.SampleWithoutReplacement(pick, unplayed, scratch)
+				for _, idx := range pick {
+					participants = append(participants, normals[idx])
+					plays[idx]++
+				}
+			} else {
+				// Fewer unplayed than seats: everyone unplayed joins, and
+				// the remaining seats are filled by uniform picks among
+				// the already-played (the paper leaves this unspecified;
+				// extra plays add events, consistent with eq. 1).
+				for _, idx := range unplayed {
+					participants = append(participants, normals[idx])
+					plays[idx]++
+				}
+				fill := pi - len(unplayed)
+				if fill > len(played) {
+					fill = len(played)
+				}
+				if fill > 0 {
+					if cap(pick) < fill {
+						pick = make([]int, fill)
+					}
+					pick = pick[:fill]
+					scratch = r.SampleWithoutReplacement(pick, played, scratch)
+					for _, idx := range pick {
+						participants = append(participants, normals[idx])
+						plays[idx]++
+					}
+				}
+			}
+			participants = append(participants, csn[:env.CSN]...)
+			Play(participants, registry, &cfg.Tournament, provider, r, rec)
+		}
+	}
+	return nil
+}
+
+// BuildRegistry creates a NodeID-indexed lookup slice covering the given
+// players. IDs must be dense and unique; the function panics otherwise,
+// since a malformed registry silently corrupts every game.
+func BuildRegistry(groups ...[]*game.Player) []*game.Player {
+	max := network.NodeID(-1)
+	for _, g := range groups {
+		for _, p := range g {
+			if p.ID > max {
+				max = p.ID
+			}
+		}
+	}
+	reg := make([]*game.Player, max+1)
+	for _, g := range groups {
+		for _, p := range g {
+			if p.ID < 0 {
+				panic(fmt.Sprintf("tournament: negative NodeID %d", p.ID))
+			}
+			if reg[p.ID] != nil {
+				panic(fmt.Sprintf("tournament: duplicate NodeID %d", p.ID))
+			}
+			reg[p.ID] = p
+		}
+	}
+	return reg
+}

@@ -1,0 +1,170 @@
+// Package tournament implements the strategy evaluation machinery of §4.4:
+// single tournaments (R rounds in which every participant sources one
+// packet per round) and the multi-environment evaluation scheme of Fig 3
+// that exposes each generation's strategies to a series of network
+// conditions with different numbers of constantly selfish nodes.
+package tournament
+
+import (
+	"fmt"
+
+	"adhocga/internal/game"
+	"adhocga/internal/network"
+	"adhocga/internal/rng"
+)
+
+// Environment is one tournament environment (Tab 1): a name and the number
+// of CSN among the participants. The number of normal players is
+// TournamentSize − CSN.
+type Environment struct {
+	Name string
+	CSN  int
+}
+
+// PaperEnvironments returns TE1–TE4 as defined in Table 1 for the paper's
+// tournament size of 50: 0, 10, 25 and 30 CSN.
+func PaperEnvironments() []Environment {
+	return []Environment{
+		{Name: "TE1", CSN: 0},
+		{Name: "TE2", CSN: 10},
+		{Name: "TE3", CSN: 25},
+		{Name: "TE4", CSN: 30},
+	}
+}
+
+// PathChoice selects how a source chooses among its candidate routes.
+type PathChoice uint8
+
+const (
+	// BestReputation picks the route with the highest rating (§3.1); the
+	// paper's behavior and the zero value.
+	BestReputation PathChoice = iota
+	// RandomPath picks uniformly among candidates, ignoring reputation.
+	// Used by the ablation benchmarks to quantify how much of the
+	// cooperation enforcement comes from route avoidance.
+	RandomPath
+)
+
+// Config parameterizes one tournament.
+type Config struct {
+	Rounds     int              // R: rounds per tournament (paper: 300)
+	Mode       network.PathMode // SP or LP path mode (§6.1)
+	PathChoice PathChoice       // route selection rule (default BestReputation)
+	Game       game.Config
+
+	// Gossip enables CORE-style second-hand reputation exchange (an
+	// extension beyond the paper's first-hand-only mechanism; see
+	// trust.MergePositive): every GossipInterval rounds each normal
+	// player imports one random normal peer's positive observations at
+	// GossipWeight credibility. GossipInterval 0 disables it.
+	GossipInterval int
+	GossipWeight   float64
+	GossipMinRate  float64
+}
+
+// Validate checks the tournament configuration.
+func (c *Config) Validate() error {
+	if c.Rounds <= 0 {
+		return fmt.Errorf("tournament: rounds must be positive, got %d", c.Rounds)
+	}
+	if c.Mode.Name == "" {
+		return fmt.Errorf("tournament: path mode not set")
+	}
+	return c.Game.Validate()
+}
+
+// Recorder extends the per-game recorder with environment boundaries so
+// metrics can be kept per tournament environment.
+type Recorder interface {
+	game.Recorder
+	// BeginEnvironment is called before the first tournament of each
+	// environment in an evaluation pass.
+	BeginEnvironment(index int, env Environment)
+}
+
+// PathProvider supplies the candidate routes a source sees when it plays
+// its own game. network.Generator implements it with the paper's abstract
+// sampling model (Tables 2–3); mobility.RouteProvider implements it with
+// routes discovered on a geometric moving topology.
+//
+// An empty return means the source currently has no route to anyone (e.g.
+// a partitioned geometric network); the tournament then skips that
+// source's game for the round. All returned candidates must share the
+// same source and destination.
+type PathProvider interface {
+	Candidates(r *rng.Source, src network.NodeID, participants []network.NodeID) []network.Path
+}
+
+// Play runs one tournament over the given participants: cfg.Rounds rounds,
+// each participant sourcing exactly one packet per round (§4.4 tournament
+// scheme, steps 1–8). registry maps NodeID → player and must cover every
+// participant; paths supplies candidate routes; rec may be nil.
+func Play(participants []*game.Player, registry []*game.Player, cfg *Config, provider PathProvider, r *rng.Source, rec game.Recorder) {
+	ids := make([]network.NodeID, len(participants))
+	for i, p := range participants {
+		ids[i] = p.ID
+	}
+	ro, _ := rec.(RoundObserver)
+	interScratch := make([]*game.Player, 0, network.MaxHops)
+	for round := 0; round < cfg.Rounds; round++ {
+		for _, src := range participants {
+			// Step 2: random destination and intermediates (provider);
+			// Step 3: rate each candidate and pick the best reputation
+			// (or a uniform pick under the RandomPath ablation).
+			paths := provider.Candidates(r, src.ID, ids)
+			if len(paths) == 0 {
+				continue // no route to anyone this round
+			}
+			var best int
+			if cfg.PathChoice == RandomPath {
+				best = r.Intn(len(paths))
+			} else {
+				best = network.SelectBest(r, paths, src.Rep.ForwardingRate)
+			}
+			path := paths[best]
+			inters := interScratch[:0]
+			for _, id := range path.Intermediates {
+				inters = append(inters, registry[id])
+			}
+			// Steps 4–6: play the game; payoffs and reputation updates
+			// happen inside game.Play.
+			game.Play(src, inters, &cfg.Game, rec)
+		}
+		if ro != nil {
+			ro.EndRound(participants)
+		}
+		if cfg.GossipInterval > 0 && (round+1)%cfg.GossipInterval == 0 {
+			gossip(participants, cfg, r)
+		}
+	}
+}
+
+// RoundObserver is an optional extension of game.Recorder: recorders that
+// implement it (e.g. the energy meter) are notified at the end of every
+// tournament round with the full participant set.
+type RoundObserver interface {
+	EndRound(participants []*game.Player)
+}
+
+// gossip performs one round of second-hand reputation exchange: each
+// normal player merges the positive observations of one uniformly chosen
+// other normal player. CSN neither share nor receive — they do not
+// participate in the protocol any more than they forward packets.
+func gossip(participants []*game.Player, cfg *Config, r *rng.Source) {
+	var normals []*game.Player
+	for _, p := range participants {
+		if p.Type == game.Normal {
+			normals = append(normals, p)
+		}
+	}
+	if len(normals) < 2 {
+		return
+	}
+	for _, p := range normals {
+		peer := normals[r.Intn(len(normals))]
+		for peer == p {
+			peer = normals[r.Intn(len(normals))]
+		}
+		p.Rep.MergePositive(p.ID, peer.Rep, cfg.GossipMinRate, cfg.GossipWeight)
+	}
+}

@@ -1,0 +1,56 @@
+package trust
+
+import (
+	"math"
+
+	"adhocga/internal/network"
+)
+
+// Second-hand reputation exchange, the extension the paper's related work
+// discusses (§2): CORE exchanges only positive ratings so that "a
+// malicious broadcast of negative rankings for legitimate nodes is
+// avoided"; CONFIDANT and Buchegger & Le Boudec's rumor-spreading study
+// weigh second-hand reports below first-hand observation. MergePositive
+// implements that scheme: import another node's observations about third
+// parties, but only favorable ones, and scaled down by a weight.
+
+// MergePositive imports src's observations about third parties into s:
+// for every node src knows with a forwarding rate of at least minRate,
+// s's counters grow by weight times src's counters (rounded, with a floor
+// of one request so that tiny weights still register the node as known).
+// Nodes about whom the receiver is the subject (self) are skipped, as are
+// negative reports (rate below minRate).
+//
+// The merge is additive: gossiping the same data twice counts it twice.
+// Callers model credibility by keeping weight well below 1, matching the
+// "more relevance is given to ... own experience" design of CORE.
+func (s *Store) MergePositive(self network.NodeID, src *Store, minRate, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	for id, rec := range src.rec {
+		if id == self || rec.requests == 0 {
+			continue
+		}
+		rate := float64(rec.forwards) / float64(rec.requests)
+		if rate < minRate {
+			continue
+		}
+		addReq := uint64(math.Round(float64(rec.requests) * weight))
+		if addReq == 0 {
+			addReq = 1
+		}
+		addFwd := uint64(math.Round(float64(rec.forwards) * weight))
+		if addFwd > addReq {
+			addFwd = addReq
+		}
+		dst := s.rec[id]
+		if dst == nil {
+			dst = &record{}
+			s.rec[id] = dst
+		}
+		dst.requests += addReq
+		dst.forwards += addFwd
+		s.forwardsSum += addFwd
+	}
+}

@@ -1,0 +1,106 @@
+package trust
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMergePositiveImportsGoodReports(t *testing.T) {
+	teacher := NewStore()
+	for i := 0; i < 10; i++ {
+		teacher.Observe(5, true) // node 5: rate 1.0
+	}
+	student := NewStore()
+	student.MergePositive(99, teacher, 0.5, 0.5)
+	rate, known := student.ForwardingRate(5)
+	if !known {
+		t.Fatal("positive report not imported")
+	}
+	if rate != 1.0 {
+		t.Errorf("imported rate %v, want 1.0", rate)
+	}
+	// Weight 0.5 over 10 requests → 5 imported requests.
+	if student.Requests(5) != 5 || student.Forwards(5) != 5 {
+		t.Errorf("imported counters %d/%d, want 5/5", student.Forwards(5), student.Requests(5))
+	}
+}
+
+func TestMergePositiveSkipsNegativeReports(t *testing.T) {
+	teacher := NewStore()
+	for i := 0; i < 10; i++ {
+		teacher.Observe(3, false) // node 3: rate 0
+	}
+	teacher.Observe(4, true) // node 4: rate 1
+	student := NewStore()
+	student.MergePositive(99, teacher, 0.5, 0.5)
+	if student.Known(3) {
+		t.Error("negative report imported (CORE forbids it)")
+	}
+	if !student.Known(4) {
+		t.Error("positive report dropped")
+	}
+}
+
+func TestMergePositiveSkipsSelf(t *testing.T) {
+	teacher := NewStore()
+	teacher.Observe(7, true)
+	student := NewStore()
+	student.MergePositive(7, teacher, 0, 0.5)
+	if student.Known(7) {
+		t.Error("node imported gossip about itself")
+	}
+}
+
+func TestMergePositiveZeroWeightNoOp(t *testing.T) {
+	teacher := NewStore()
+	teacher.Observe(1, true)
+	student := NewStore()
+	student.MergePositive(99, teacher, 0, 0)
+	if student.KnownCount() != 0 {
+		t.Error("zero weight still imported data")
+	}
+}
+
+func TestMergePositiveTinyWeightFloors(t *testing.T) {
+	teacher := NewStore()
+	teacher.Observe(1, true)
+	student := NewStore()
+	student.MergePositive(99, teacher, 0, 0.01)
+	// One observation at weight 0.01 rounds to 0 but floors to 1 request;
+	// forwards round to 0, capped at requests.
+	if !student.Known(1) {
+		t.Fatal("tiny weight should still register the node")
+	}
+	if student.Requests(1) != 1 {
+		t.Errorf("requests = %d, want 1", student.Requests(1))
+	}
+}
+
+func TestMergePositiveKeepsActivityMeanConsistent(t *testing.T) {
+	teacher := NewStore()
+	for i := 0; i < 8; i++ {
+		teacher.Observe(1, true)
+	}
+	student := NewStore()
+	student.Observe(2, true)
+	student.Observe(2, true)
+	student.MergePositive(99, teacher, 0, 0.5)
+	// Node 1 imported with 4 forwards; node 2 has 2 → mean 3.
+	av, ok := student.MeanForwards()
+	if !ok || math.Abs(av-3) > 1e-12 {
+		t.Errorf("MeanForwards after merge = %v, want 3", av)
+	}
+}
+
+func TestMergePositiveAccumulates(t *testing.T) {
+	teacher := NewStore()
+	for i := 0; i < 4; i++ {
+		teacher.Observe(1, true)
+	}
+	student := NewStore()
+	student.MergePositive(99, teacher, 0, 0.5)
+	student.MergePositive(99, teacher, 0, 0.5)
+	if student.Requests(1) != 4 {
+		t.Errorf("double merge requests = %d, want 4 (additive)", student.Requests(1))
+	}
+}

@@ -1,0 +1,203 @@
+// Package trust implements the paper's reputation collection and trust /
+// activity evaluation mechanisms (§3.1–3.2, Fig 1a–b).
+//
+// Each node keeps, for every other node it has observed, two counters: how
+// many packets that node was asked to forward (ps) and how many it actually
+// forwarded (pf). The forwarding rate pf/ps feeds a four-level trust lookup
+// table; the raw pf counts feed the three-level activity evaluation. Both
+// feed the strategy's forwarding decision and the payoff table.
+package trust
+
+import (
+	"fmt"
+	"sort"
+
+	"adhocga/internal/network"
+	"adhocga/internal/strategy"
+)
+
+// record holds the two per-pair reputation counters of §3.1.
+type record struct {
+	requests uint64 // ps: packets this node was asked ("sent") to forward
+	forwards uint64 // pf: packets it actually forwarded
+}
+
+// Store is one node's private reputation memory about other nodes. It is
+// not safe for concurrent use; in the simulator each player owns exactly
+// one Store and tournaments mutate it from a single goroutine.
+type Store struct {
+	rec map[network.NodeID]*record
+
+	// forwardsSum caches Σ pf over all known nodes so that the §3.2
+	// activity average is O(1) per query instead of O(known nodes).
+	forwardsSum uint64
+}
+
+// NewStore returns an empty reputation memory.
+func NewStore() *Store {
+	return &Store{rec: make(map[network.NodeID]*record)}
+}
+
+// Reset forgets everything; the evaluation scheme clears all memories at
+// the start of each generation (§4.4 step 1).
+func (s *Store) Reset() {
+	clear(s.rec)
+	s.forwardsSum = 0
+}
+
+// Observe records one watchdog observation about a node: it was asked to
+// forward a packet and either did (forwarded=true) or dropped it.
+func (s *Store) Observe(id network.NodeID, forwarded bool) {
+	r := s.rec[id]
+	if r == nil {
+		r = &record{}
+		s.rec[id] = r
+	}
+	r.requests++
+	if forwarded {
+		r.forwards++
+		s.forwardsSum++
+	}
+}
+
+// Known reports whether the store has any data about the node.
+func (s *Store) Known(id network.NodeID) bool {
+	_, ok := s.rec[id]
+	return ok
+}
+
+// KnownCount returns the number of nodes with at least one observation.
+func (s *Store) KnownCount() int { return len(s.rec) }
+
+// Requests returns ps for the node (0 if unknown).
+func (s *Store) Requests(id network.NodeID) uint64 {
+	if r := s.rec[id]; r != nil {
+		return r.requests
+	}
+	return 0
+}
+
+// Forwards returns pf for the node (0 if unknown).
+func (s *Store) Forwards(id network.NodeID) uint64 {
+	if r := s.rec[id]; r != nil {
+		return r.forwards
+	}
+	return 0
+}
+
+// ForwardingRate returns pf/ps for the node and whether the node is known.
+func (s *Store) ForwardingRate(id network.NodeID) (float64, bool) {
+	r := s.rec[id]
+	if r == nil || r.requests == 0 {
+		return 0, false
+	}
+	return float64(r.forwards) / float64(r.requests), true
+}
+
+// MeanForwards returns the average pf over all known nodes — the "av"
+// value of §3.2 — and whether any node is known.
+func (s *Store) MeanForwards() (float64, bool) {
+	if len(s.rec) == 0 {
+		return 0, false
+	}
+	return float64(s.forwardsSum) / float64(len(s.rec)), true
+}
+
+// KnownNodes returns the IDs the store has data about, in ascending order
+// (deterministic for tests and reporting).
+func (s *Store) KnownNodes() []network.NodeID {
+	ids := make([]network.NodeID, 0, len(s.rec))
+	for id := range s.rec {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// RateFunc adapts the store to the signature network.RatePath expects.
+func (s *Store) RateFunc() func(network.NodeID) (float64, bool) {
+	return s.ForwardingRate
+}
+
+// Table is the trust lookup table of Fig 1b, mapping a forwarding rate to
+// one of four trust levels. Thresholds are the lower bounds of levels
+// 3, 2, 1 (descending); rates below Thresholds[2] map to level 0.
+type Table struct {
+	Thresholds [3]float64
+}
+
+// DefaultTable returns the paper's table: [1.0–0.9]→3, [0.9–0.6)→2,
+// [0.6–0.3)→1, [0.3–0)→0. Boundary rates belong to the higher level.
+func DefaultTable() Table {
+	return Table{Thresholds: [3]float64{0.9, 0.6, 0.3}}
+}
+
+// Validate checks that thresholds are strictly descending within (0,1).
+func (t Table) Validate() error {
+	prev := 1.0
+	for i, th := range t.Thresholds {
+		if th <= 0 || th >= 1 {
+			return fmt.Errorf("trust: threshold %d = %v outside (0,1)", i, th)
+		}
+		if th >= prev {
+			return fmt.Errorf("trust: thresholds must be strictly descending, got %v", t.Thresholds)
+		}
+		prev = th
+	}
+	return nil
+}
+
+// Level maps a forwarding rate to a trust level.
+func (t Table) Level(rate float64) strategy.TrustLevel {
+	switch {
+	case rate >= t.Thresholds[0]:
+		return strategy.Trust3
+	case rate >= t.Thresholds[1]:
+		return strategy.Trust2
+	case rate >= t.Thresholds[2]:
+		return strategy.Trust1
+	default:
+		return strategy.Trust0
+	}
+}
+
+// LevelOf looks a node up in the store and maps it through the table. The
+// boolean is false when the node is unknown, in which case the strategy's
+// unknown-node bit applies instead.
+func (t Table) LevelOf(s *Store, id network.NodeID) (strategy.TrustLevel, bool) {
+	rate, known := s.ForwardingRate(id)
+	if !known {
+		return 0, false
+	}
+	return t.Level(rate), true
+}
+
+// DefaultActivityBand is the ±20% band around the average of §3.2.
+const DefaultActivityBand = 0.2
+
+// ActivityOf computes the §3.2 activity level of the source as seen by the
+// owner of the store: the source's pf is compared against av, the mean pf
+// over all nodes the evaluator knows. Within ±band·av → medium; below →
+// low; above → high. The boolean is false when the evaluator knows nothing
+// about the source (activity is then irrelevant: the unknown-node rule
+// decides).
+//
+// Note the asymmetry inherited from the paper: av averages over the nodes
+// the evaluator knows, whether or not that includes the source.
+func ActivityOf(s *Store, src network.NodeID, band float64) (strategy.ActivityLevel, bool) {
+	if !s.Known(src) {
+		return 0, false
+	}
+	av, _ := s.MeanForwards() // known(src) implies at least one known node
+	srcF := float64(s.Forwards(src))
+	lo := av - band*av
+	hi := av + band*av
+	switch {
+	case srcF < lo:
+		return strategy.ActivityLow, true
+	case srcF > hi:
+		return strategy.ActivityHigh, true
+	default:
+		return strategy.ActivityMedium, true
+	}
+}
