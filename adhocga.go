@@ -1,6 +1,8 @@
 package adhocga
 
 import (
+	"io"
+
 	"adhocga/internal/baselines"
 	"adhocga/internal/core"
 	"adhocga/internal/experiment"
@@ -9,6 +11,7 @@ import (
 	"adhocga/internal/ipdrp"
 	"adhocga/internal/network"
 	"adhocga/internal/rng"
+	"adhocga/internal/scenario"
 	"adhocga/internal/strategy"
 	"adhocga/internal/tournament"
 )
@@ -132,6 +135,50 @@ type RunOptions = experiment.Options
 // replications out over a worker pool. Deterministic for a fixed seed.
 func RunCase(c Case, sc Scale, opts RunOptions) (*CaseResult, error) {
 	return experiment.RunCase(c, sc, opts)
+}
+
+// ScenarioSpec declaratively describes one evolutionary experiment:
+// environments, path mode, tournament/GA parameters, scale, and seed
+// policy. Specs are JSON-serializable; zero-valued fields fall back to
+// the paper's §6.1 parameterization and the run's Scale.
+type ScenarioSpec = scenario.Spec
+
+// ScenarioEnv is one environment of a scenario (name + CSN count).
+type ScenarioEnv = scenario.EnvSpec
+
+// ScenarioGA overrides genetic-algorithm parameters in a scenario.
+type ScenarioGA = scenario.GASpec
+
+// ScenarioFamily is a named generator of related scenarios from the
+// built-in registry (table4, csn-grid, tournament-size, mixed-env).
+type ScenarioFamily = scenario.Family
+
+// ScenarioRun pairs a scenario with the fallback master seed for its
+// replicate streams.
+type ScenarioRun = experiment.ScenarioRun
+
+// ScenarioFamilies returns the registered scenario families.
+func ScenarioFamilies() []ScenarioFamily { return scenario.Families() }
+
+// ScenarioFamilyByName resolves a registered scenario family.
+func ScenarioFamilyByName(name string) (ScenarioFamily, error) { return scenario.FamilyByName(name) }
+
+// LoadScenarios reads one scenario spec or a JSON array of specs.
+func LoadScenarios(r io.Reader) ([]ScenarioSpec, error) { return scenario.Load(r) }
+
+// LoadScenarioFile loads scenario specs from a JSON file.
+func LoadScenarioFile(path string) ([]ScenarioSpec, error) { return scenario.LoadFile(path) }
+
+// SaveScenarios writes scenario specs as JSON in a shape LoadScenarios
+// accepts.
+func SaveScenarios(w io.Writer, specs []ScenarioSpec) error { return scenario.Save(w, specs) }
+
+// RunScenarios runs a batch of scenarios over one shared worker pool —
+// every (scenario × replicate) pair is one work unit in a single queue —
+// and aggregates each scenario into a CaseResult, in input order.
+// Deterministic for fixed seeds regardless of parallelism.
+func RunScenarios(runs []ScenarioRun, defaults Scale, opts RunOptions) ([]*CaseResult, error) {
+	return experiment.RunScenarios(runs, defaults, opts)
 }
 
 // SweepPoint is one sample of a CSN sweep: the selfish-node count and the

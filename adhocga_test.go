@@ -1,6 +1,7 @@
 package adhocga
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -80,6 +81,36 @@ func TestFacadeRunMixSmoke(t *testing.T) {
 	}
 	if len(res.Groups) != 1 || res.Groups[0].Name != ProfileAllCooperate.Name {
 		t.Errorf("groups %+v", res.Groups)
+	}
+}
+
+func TestFacadeScenarioSmoke(t *testing.T) {
+	if len(ScenarioFamilies()) < 4 {
+		t.Error("scenario families missing")
+	}
+	fam, err := ScenarioFamilyByName("table4")
+	if err != nil || len(fam.Specs()) != 4 {
+		t.Errorf("table4 family: %+v, %v", fam, err)
+	}
+	specs, err := LoadScenarios(strings.NewReader(
+		`{"name":"facade","environments":[{"csn":3}],"repetitions":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := SaveScenarios(&buf, specs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"facade"`) {
+		t.Errorf("saved spec missing name: %s", buf.String())
+	}
+	sc := Scale{Name: "tiny", Generations: 2, Rounds: 10, Repetitions: 2}
+	results, err := RunScenarios([]ScenarioRun{{Spec: specs[0], Seed: 8}}, sc, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || len(results[0].CoopMean) != 2 || results[0].FinalCoop.N != 2 {
+		t.Errorf("scenario result shape wrong: %+v", results[0])
 	}
 }
 

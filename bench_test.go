@@ -273,6 +273,49 @@ func BenchmarkCSNSweep(b *testing.B) {
 	}
 }
 
+// sweepThroughputScale keeps replicates well below the core count so the
+// difference between barriered and shared scheduling is visible: with a
+// per-point pool, at most Repetitions workers are ever busy.
+var sweepThroughputScale = experiment.Scale{Name: "bench-sweep", Generations: 4, Rounds: 100, Repetitions: 2}
+
+var sweepThroughputCounts = []int{0, 5, 10, 15, 20, 25, 30, 35}
+
+// BenchmarkSweepThroughput measures a multi-point CSN sweep on the shared
+// work-stealing pool: all (point × replicate) units sit in one queue, so
+// workers cross point boundaries and every core stays busy for the whole
+// sweep. Compare units/s against BenchmarkSweepThroughputBarrier.
+func BenchmarkSweepThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.CSNSweep(sweepThroughputCounts, ShorterPaths(),
+			sweepThroughputScale, experiment.Options{Seed: 60}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	units := float64(b.N * len(sweepThroughputCounts) * sweepThroughputScale.Repetitions)
+	b.ReportMetric(units/b.Elapsed().Seconds(), "units/s")
+}
+
+// BenchmarkSweepThroughputBarrier replays the pre-runner sweep schedule:
+// one worker pool per sweep point with a barrier in between, so only
+// Repetitions cores are busy at a time and the rest idle.
+func BenchmarkSweepThroughputBarrier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for pi, csn := range sweepThroughputCounts {
+			c := experiment.Case{
+				Name:         fmt.Sprintf("barrier CSN=%d", csn),
+				Environments: []tournament.Environment{{Name: "E", CSN: csn}},
+				Mode:         ShorterPaths(),
+			}
+			if _, err := experiment.RunCase(c, sweepThroughputScale,
+				experiment.Options{Seed: uint64(60 + pi)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	units := float64(b.N * len(sweepThroughputCounts) * sweepThroughputScale.Repetitions)
+	b.ReportMetric(units/b.Elapsed().Seconds(), "units/s")
+}
+
 // BenchmarkIPDRP evolves the IPDRP substrate [12] and reports the late
 // cooperation rate (defection dominates under random pairing).
 func BenchmarkIPDRP(b *testing.B) {

@@ -6,7 +6,12 @@
 // Usage:
 //
 //	adhocsim -mix all-cooperate:30,trust>=1:10 -csn 10 -rounds 300
+//	adhocsim -mix all-cooperate:30 -scenario spec.json
 //	adhocsim -list
+//
+// With -scenario, the tournament's rounds, path mode, and CSN count
+// default to the scenario's values (its first environment); explicit
+// flags still win. The argument must resolve to exactly one scenario.
 package main
 
 import (
@@ -21,21 +26,23 @@ import (
 	"adhocga/internal/game"
 	"adhocga/internal/network"
 	"adhocga/internal/report"
+	"adhocga/internal/scenario"
 	"adhocga/internal/strategy"
 	"adhocga/internal/tournament"
 )
 
 func main() {
 	var (
-		mix        = flag.String("mix", "trust>=1:40", "comma-separated profile:count pairs (profile may also be a 13-bit strategy)")
-		csn        = flag.Int("csn", 10, "constantly selfish nodes")
-		rounds     = flag.Int("rounds", 300, "tournament rounds")
-		mode       = flag.String("mode", "SP", "path mode: SP or LP")
-		seed       = flag.Uint64("seed", 1, "seed")
-		randomPath = flag.Bool("random-path", false, "choose routes uniformly instead of by reputation")
-		showEnergy = flag.Bool("energy", false, "report radio energy spending per node class")
-		gossip     = flag.Int("gossip", 0, "exchange second-hand reputation every N rounds (0 = off)")
-		list       = flag.Bool("list", false, "list built-in profiles and exit")
+		mix         = flag.String("mix", "trust>=1:40", "comma-separated profile:count pairs (profile may also be a 13-bit strategy)")
+		csn         = flag.Int("csn", 10, "constantly selfish nodes")
+		rounds      = flag.Int("rounds", 300, "tournament rounds")
+		mode        = flag.String("mode", "SP", "path mode: SP or LP")
+		scenarioArg = flag.String("scenario", "", "scenario (JSON file, family, or name) supplying csn/rounds/mode defaults")
+		seed        = flag.Uint64("seed", 1, "seed")
+		randomPath  = flag.Bool("random-path", false, "choose routes uniformly instead of by reputation")
+		showEnergy  = flag.Bool("energy", false, "report radio energy spending per node class")
+		gossip      = flag.Int("gossip", 0, "exchange second-hand reputation every N rounds (0 = off)")
+		list        = flag.Bool("list", false, "list built-in profiles and exit")
 	)
 	flag.Parse()
 
@@ -46,6 +53,13 @@ func main() {
 		}
 		fmt.Print(t.Render())
 		return
+	}
+
+	if *scenarioArg != "" {
+		if err := applyScenario(*scenarioArg, csn, rounds, mode); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	groups, err := parseMix(*mix)
@@ -107,6 +121,36 @@ func main() {
 		}
 		fmt.Print(et.Render())
 	}
+}
+
+// applyScenario overwrites the csn/rounds/mode defaults with the first
+// loaded scenario's values wherever the user did not set the flag
+// explicitly on the command line.
+func applyScenario(arg string, csn, rounds *int, mode *string) error {
+	specs, err := scenario.FromArg(arg)
+	if err != nil {
+		return err
+	}
+	if len(specs) != 1 {
+		return fmt.Errorf("adhocsim: -scenario %q resolves to %d scenarios, need exactly one", arg, len(specs))
+	}
+	spec := specs[0]
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if !set["csn"] {
+		*csn = spec.Environments[0].CSN
+	}
+	if !set["rounds"] && spec.Rounds > 0 {
+		*rounds = spec.Rounds
+	}
+	if !set["mode"] {
+		m, err := spec.Mode()
+		if err != nil {
+			return err
+		}
+		*mode = m.Name
+	}
+	return nil
 }
 
 // parseMix parses "name:count,name:count". A name that is not a built-in

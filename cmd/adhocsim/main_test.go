@@ -69,3 +69,26 @@ func TestParseMixColonInName(t *testing.T) {
 		t.Errorf("groups = %+v", groups)
 	}
 }
+
+func TestApplyScenarioDefaults(t *testing.T) {
+	// Unset flags pick up the scenario's values; note case 4 is LP with
+	// TE1 (0 CSN) first.
+	csn, rounds, mode := 10, 300, "SP"
+	if err := applyScenario("case 4 (TE1-4, LP)", &csn, &rounds, &mode); err != nil {
+		t.Fatal(err)
+	}
+	if csn != 0 || mode != "LP" {
+		t.Errorf("csn=%d mode=%q, want scenario defaults 0/LP", csn, mode)
+	}
+	// The table4 specs leave rounds to the run scale, so the flag default
+	// must survive.
+	if rounds != 300 {
+		t.Errorf("rounds=%d, want flag default 300", rounds)
+	}
+	if err := applyScenario("no such scenario anywhere", &csn, &rounds, &mode); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := applyScenario("table4", &csn, &rounds, &mode); err == nil {
+		t.Error("multi-scenario family accepted; adhocsim needs exactly one")
+	}
+}

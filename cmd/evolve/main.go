@@ -1,12 +1,19 @@
-// Command evolve runs one evolutionary experiment (a single Table 4
-// evaluation case) and prints the cooperation trajectory, final strategy
-// census, and summary statistics.
+// Command evolve runs evolutionary experiments — a single Table 4
+// evaluation case, or any batch of declarative scenarios — and prints the
+// cooperation trajectory, final strategy census, and summary statistics.
 //
 // Usage:
 //
 //	evolve -case 1 -generations 100 -rounds 300 -reps 4 -seed 1
+//	evolve -scenario spec.json            # user-authored scenario file
+//	evolve -scenario csn-grid             # a registered scenario family
+//	evolve -scenario "mixed TE1+TE4 (SP)" # one registered scenario
+//	evolve -list-scenarios
 //
-// At paper scale use -generations 500 -rounds 300 -reps 60 (slow).
+// A scenario batch runs over one shared worker pool: workers cross
+// scenario boundaries, so all cores stay busy even when each scenario has
+// fewer replications than cores. At paper scale use -generations 500
+// -rounds 300 -reps 60 (slow).
 package main
 
 import (
@@ -17,31 +24,38 @@ import (
 
 	"adhocga/internal/experiment"
 	"adhocga/internal/report"
+	"adhocga/internal/scenario"
 	"adhocga/internal/strategy"
 	"adhocga/internal/textplot"
 )
 
 func main() {
 	var (
-		caseID      = flag.Int("case", 1, "evaluation case 1-4 (Table 4)")
-		generations = flag.Int("generations", 80, "generations per replication")
-		rounds      = flag.Int("rounds", 150, "rounds per tournament")
-		reps        = flag.Int("reps", 4, "independent replications")
+		caseID      = flag.Int("case", 1, "evaluation case 1-4 (Table 4); ignored with -scenario")
+		scenarioArg = flag.String("scenario", "", "scenario JSON file, registered family, or registered scenario name")
+		generations = flag.Int("generations", 80, "generations per replication (set explicitly, overrides scenario specs)")
+		rounds      = flag.Int("rounds", 150, "rounds per tournament (set explicitly, overrides scenario specs)")
+		reps        = flag.Int("reps", 4, "independent replications (set explicitly, overrides scenario specs)")
 		seed        = flag.Uint64("seed", 1, "master seed")
 		par         = flag.Int("par", 0, "worker pool size (0 = all cores)")
 		quiet       = flag.Bool("q", false, "suppress progress output")
-		csvPath     = flag.String("csv", "", "write the cooperation series as CSV to this file")
-		savePath    = flag.String("save", "", "write the final strategy census to this file (ungrouped strategy + share per line; strings are accepted by adhocsim -mix)")
+		csvPath     = flag.String("csv", "", "write the cooperation series as CSV to this file (single scenario only)")
+		savePath    = flag.String("save", "", "write the final strategy census to this file (ungrouped strategy + share per line; strings are accepted by adhocsim -mix); single scenario only")
+		list        = flag.Bool("list-scenarios", false, "list registered scenario families and exit")
 	)
 	flag.Parse()
 
-	c, err := experiment.CaseByID(*caseID)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	if *list {
+		t := report.NewTable("registered scenario families", "family", "scenarios", "description")
+		for _, f := range scenario.Families() {
+			t.AddRow(f.Name, fmt.Sprint(len(f.Specs())), f.Description)
+		}
+		fmt.Print(t.Render())
+		return
 	}
+
 	sc := experiment.Scale{Name: "custom", Generations: *generations, Rounds: *rounds, Repetitions: *reps}
-	opts := experiment.Options{Seed: *seed, Parallelism: *par}
+	opts := experiment.Options{Parallelism: *par}
 	if !*quiet {
 		opts.OnReplicate = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rreplication %d/%d done", done, total)
@@ -50,12 +64,84 @@ func main() {
 			}
 		}
 	}
-	res, err := experiment.RunCase(c, sc, opts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+
+	var results []*experiment.CaseResult
+	if *scenarioArg != "" {
+		specs, err := scenario.FromArg(*scenarioArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if (*csvPath != "" || *savePath != "") && len(specs) != 1 {
+			fmt.Fprintln(os.Stderr, "-csv/-save need a single scenario; got", len(specs))
+			os.Exit(2)
+		}
+		// Explicitly-set scale flags win over scenario pins (matching
+		// adhocsim's -scenario precedence); unset flags only provide
+		// defaults for fields the spec leaves open.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		runs := make([]experiment.ScenarioRun, len(specs))
+		for i, s := range specs {
+			if set["generations"] {
+				s.Generations = *generations
+			}
+			if set["rounds"] {
+				s.Rounds = *rounds
+			}
+			if set["reps"] {
+				s.Repetitions = *reps
+			}
+			runs[i] = experiment.ScenarioRun{Spec: s}
+		}
+		// RunScenarios derives a distinct fallback stream per scenario
+		// from the batch seed; a spec's pinned seed still wins.
+		opts.Seed = *seed
+		results, err = experiment.RunScenarios(runs, sc, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		c, err := experiment.CaseByID(*caseID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts.Seed = *seed
+		res, err := experiment.RunCase(c, sc, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		results = []*experiment.CaseResult{res}
 	}
 
+	for i, res := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		printResult(res)
+	}
+
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, results[0]); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("cooperation series written to %s\n", *csvPath)
+	}
+	if *savePath != "" {
+		if err := writeCensus(*savePath, results[0]); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("final census written to %s\n", *savePath)
+	}
+}
+
+func printResult(res *experiment.CaseResult) {
+	c, sc := res.Case, res.Scale
 	series := res.CoopMean
 	if len(c.Environments) > 1 {
 		series = res.MeanEnvCoopMean
@@ -92,21 +178,6 @@ func main() {
 		}
 	}
 	fmt.Println()
-
-	if *csvPath != "" {
-		if err := writeCSV(*csvPath, res); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("cooperation series written to %s\n", *csvPath)
-	}
-	if *savePath != "" {
-		if err := writeCensus(*savePath, res); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("final census written to %s\n", *savePath)
-	}
 }
 
 // writeCensus dumps every distinct final strategy with its population

@@ -8,18 +8,25 @@
 // whether to forward or discard each packet. Strategies are evolved by a
 // genetic algorithm inside a game-theoretic network model.
 //
-// The package exposes three workflows:
+// The package exposes four workflows:
 //
 //   - Evolve runs one evolutionary experiment and returns the cooperation
 //     trajectory and the final strategy population;
 //   - RunCase reproduces one of the paper's four evaluation cases over
 //     repeated replications at a chosen scale;
+//   - RunScenarios runs any batch of declarative, JSON-serializable
+//     ScenarioSpecs — user-authored or from the built-in registry
+//     (ScenarioFamilies: table4, csn-grid, tournament-size, mixed-env) —
+//     over one shared worker pool that flattens every (scenario ×
+//     replicate) pair into a single queue, with bit-identical results at
+//     any parallelism level;
 //   - RunMix plays fixed (non-evolved) behavior mixes through the same
 //     network model for baseline comparisons.
 //
 // Implementation lives in internal/ packages (rng, bitstring, strategy,
-// trust, network, game, tournament, ga, metrics, experiment, baselines,
-// ipdrp); this package re-exports the surface a downstream user needs. See
-// DESIGN.md for the system inventory and EXPERIMENTS.md for
+// trust, network, game, tournament, ga, metrics, scenario, runner,
+// experiment, baselines, ipdrp); this package re-exports the surface a
+// downstream user needs. See README.md for the scenario API and CLI
+// flags, DESIGN.md for the system inventory, and EXPERIMENTS.md for
 // paper-vs-measured results.
 package adhocga

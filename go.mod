@@ -1,0 +1,3 @@
+module adhocga
+
+go 1.24

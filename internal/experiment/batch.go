@@ -1,0 +1,152 @@
+package experiment
+
+import (
+	"fmt"
+
+	"adhocga/internal/core"
+	"adhocga/internal/rng"
+	"adhocga/internal/runner"
+	"adhocga/internal/scenario"
+)
+
+// job is one scenario resolved to a concrete workload. The shared worker
+// pool schedules its repetitions as individual work units; every workload
+// in the package — RunCase, CSNSweep, RunScenarios — flattens to jobs.
+type job struct {
+	c    Case
+	sc   Scale
+	seed uint64
+	// config builds one replicate's configuration from its derived seed.
+	config func(repSeed uint64) (core.Config, error)
+}
+
+// caseJob wraps a Table 4-style Case in a job. The configuration is the
+// paper's §6.1 parameterization with the scale's generation and round
+// budget — kept byte-for-byte compatible with the pre-runner RunCase so
+// fixed-seed results are unchanged.
+func caseJob(c Case, sc Scale, seed uint64) job {
+	return job{c: c, sc: sc, seed: seed, config: func(repSeed uint64) (core.Config, error) {
+		cfg := core.PaperConfig(c.Environments, c.Mode, repSeed)
+		cfg.Generations = sc.Generations
+		cfg.Eval.Tournament.Rounds = sc.Rounds
+		return cfg, nil
+	}}
+}
+
+// specJob resolves a declarative scenario against the run's default scale
+// and fallback seed.
+func specJob(spec scenario.Spec, defaults Scale, fallbackSeed uint64) (job, error) {
+	if err := spec.Validate(); err != nil {
+		return job{}, err
+	}
+	resolved := spec.Resolve(defaults)
+	mode, err := resolved.Mode()
+	if err != nil {
+		return job{}, err
+	}
+	// Fail fast on parameter interactions (e.g. tournament size vs
+	// population) the structural Validate cannot see: one bad spec must
+	// reject the whole batch up front, not waste every other scenario's
+	// compute before erroring. The seed is irrelevant to validation.
+	if _, err := resolved.Config(1); err != nil {
+		return job{}, err
+	}
+	return job{
+		c: Case{ID: resolved.ID, Name: resolved.Name, Environments: resolved.Envs(), Mode: mode},
+		sc: Scale{
+			Name:        defaults.Name,
+			Generations: resolved.Generations,
+			Rounds:      resolved.Rounds,
+			Repetitions: resolved.Repetitions,
+		},
+		seed:   resolved.MasterSeed(fallbackSeed),
+		config: resolved.Config,
+	}, nil
+}
+
+// runJobs executes a batch of jobs over one shared bounded worker pool:
+// every (job × replicate) pair becomes one work unit in a single queue, so
+// workers cross job boundaries freely and no cores idle between sweep
+// points. Per-replicate seeds are derived up front, in (job, replicate)
+// order, from each job's own master seed — results are therefore
+// bit-identical at any parallelism level, and identical to running each
+// job alone.
+func runJobs(jobs []job, opts Options) ([]*CaseResult, error) {
+	type unit struct {
+		job, rep int
+		seed     uint64
+	}
+	var units []unit
+	results := make([][]*core.Result, len(jobs))
+	for ji, j := range jobs {
+		if j.sc.Repetitions < 1 {
+			return nil, fmt.Errorf("experiment: scale %q has %d repetitions", j.sc.Name, j.sc.Repetitions)
+		}
+		master := rng.New(j.seed)
+		results[ji] = make([]*core.Result, j.sc.Repetitions)
+		for rep := 0; rep < j.sc.Repetitions; rep++ {
+			units = append(units, unit{job: ji, rep: rep, seed: master.Uint64()})
+		}
+	}
+	err := runner.Run(len(units), func(i int) error {
+		u := units[i]
+		cfg, err := jobs[u.job].config(u.seed)
+		if err != nil {
+			return err
+		}
+		engine, err := core.New(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := engine.Run()
+		results[u.job][u.rep] = res
+		return err
+	}, runner.Options{Parallelism: opts.Parallelism, OnDone: opts.OnReplicate})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*CaseResult, len(jobs))
+	for ji, j := range jobs {
+		out[ji] = Aggregate(j.c, j.sc, results[ji])
+	}
+	return out, nil
+}
+
+// ScenarioRun pairs a scenario with the fallback master seed for its
+// replicate streams (the spec's own pinned Seed wins when set). Zero is
+// the "unset" sentinel — like Spec.Seed — and means "derive this
+// scenario's stream from Options.Seed"; master seed 0 itself cannot be
+// pinned, only derived.
+type ScenarioRun struct {
+	Spec scenario.Spec
+	Seed uint64
+}
+
+// RunScenarios runs a batch of declarative scenarios over one shared
+// worker pool and aggregates each into a CaseResult, in input order.
+// Scenario fields left at zero fall back to the paper's parameterization
+// and to the defaults scale.
+//
+// Each scenario's master seed is, in order of precedence: the spec's own
+// pinned Seed, the ScenarioRun's Seed, or a per-scenario stream derived
+// from Options.Seed (so unpinned scenarios in one batch never share
+// replicate streams). Deterministic for fixed seeds regardless of
+// parallelism.
+func RunScenarios(runs []ScenarioRun, defaults Scale, opts Options) ([]*CaseResult, error) {
+	// One derived fallback per run, consumed unconditionally so that
+	// pinning one scenario's seed never shifts its neighbors' streams.
+	master := rng.New(opts.Seed)
+	jobs := make([]job, len(runs))
+	for i, r := range runs {
+		fallback := master.Uint64()
+		if r.Seed != 0 {
+			fallback = r.Seed
+		}
+		j, err := specJob(r.Spec, defaults, fallback)
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = j
+	}
+	return runJobs(jobs, opts)
+}

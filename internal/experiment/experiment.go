@@ -1,34 +1,32 @@
 // Package experiment reproduces the paper's evaluation (§6): the four
 // evaluation cases of Table 4, run over repeated replications with
 // independent seeds, aggregated into the numbers behind Fig 4 and
-// Tables 5–9.
+// Tables 5–9 — and generalizes it to arbitrary batches of declarative
+// scenarios (internal/scenario) via RunScenarios.
 //
-// Replications fan out over a bounded worker pool — each replicate owns an
-// engine and a split RNG stream, so results are deterministic for a given
-// master seed regardless of the parallelism level.
+// Every workload flattens to (scenario × replicate) work units on one
+// shared bounded worker pool (internal/runner); each replicate owns an
+// engine and a seed derived up front from its scenario's master seed, so
+// results are deterministic for given seeds regardless of the parallelism
+// level, and identical whether scenarios run alone or batched.
 package experiment
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"adhocga/internal/core"
 	"adhocga/internal/metrics"
 	"adhocga/internal/network"
-	"adhocga/internal/rng"
+	"adhocga/internal/scenario"
 	"adhocga/internal/stats"
 	"adhocga/internal/strategy"
 	"adhocga/internal/tournament"
 )
 
-// Scale selects how much of the paper's computational budget to spend.
-type Scale struct {
-	Name        string
-	Generations int
-	Rounds      int
-	Repetitions int
-}
+// Scale selects how much of the paper's computational budget to spend. It
+// doubles as the default provider for scenario specs that leave their
+// generation, round, or repetition counts unset.
+type Scale = scenario.Scale
 
 // The three standard scales. Paper is the full §6.1 parameterization
 // (500 generations, 300 rounds, 60 repetitions); Default reproduces the
@@ -67,14 +65,20 @@ type Case struct {
 //	case 2: the 30-CSN environment TE4 ("60% of the population"), shorter paths
 //	case 3: all environments TE1–TE4, shorter paths
 //	case 4: all environments TE1–TE4, longer paths
+//
+// The definitions live in the scenario registry (scenario.Table4) so the
+// spec and Case forms cannot drift apart.
 func Cases() []Case {
-	envs := tournament.PaperEnvironments()
-	return []Case{
-		{ID: 1, Name: "case 1 (TE1, SP)", Environments: envs[:1], Mode: network.ShorterPaths()},
-		{ID: 2, Name: "case 2 (TE4/30 CSN, SP)", Environments: envs[3:4], Mode: network.ShorterPaths()},
-		{ID: 3, Name: "case 3 (TE1-4, SP)", Environments: envs, Mode: network.ShorterPaths()},
-		{ID: 4, Name: "case 4 (TE1-4, LP)", Environments: envs, Mode: network.LongerPaths()},
+	specs := scenario.Table4()
+	cases := make([]Case, len(specs))
+	for i, s := range specs {
+		mode, err := s.Mode()
+		if err != nil {
+			panic(fmt.Sprintf("experiment: registry spec %q: %v", s.Name, err))
+		}
+		cases[i] = Case{ID: s.ID, Name: s.Name, Environments: s.Envs(), Mode: mode}
 	}
+	return cases
 }
 
 // CaseByID returns the Table 4 case with the given id (1–4).
@@ -139,67 +143,19 @@ type Options struct {
 
 // RunCase runs one evaluation case at the given scale and aggregates the
 // results. Deterministic for a fixed (case, scale, seed) regardless of
-// parallelism.
+// parallelism, and bit-identical to the pre-runner per-case execution.
 func RunCase(c Case, sc Scale, opts Options) (*CaseResult, error) {
-	if sc.Repetitions < 1 {
-		return nil, fmt.Errorf("experiment: scale %q has %d repetitions", sc.Name, sc.Repetitions)
+	out, err := runJobs([]job{caseJob(c, sc, opts.Seed)}, opts)
+	if err != nil {
+		return nil, err
 	}
-	parallelism := opts.Parallelism
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > sc.Repetitions {
-		parallelism = sc.Repetitions
-	}
-
-	// Derive one seed per replicate up front so the fan-out order cannot
-	// affect the streams.
-	master := rng.New(opts.Seed)
-	seeds := make([]uint64, sc.Repetitions)
-	for i := range seeds {
-		seeds[i] = master.Uint64()
-	}
-
-	results := make([]*core.Result, sc.Repetitions)
-	errs := make([]error, sc.Repetitions)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, parallelism)
-	var done int
-	var doneMu sync.Mutex
-	for i := 0; i < sc.Repetitions; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(rep int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			cfg := core.PaperConfig(c.Environments, c.Mode, seeds[rep])
-			cfg.Generations = sc.Generations
-			cfg.Eval.Tournament.Rounds = sc.Rounds
-			engine, err := core.New(cfg)
-			if err != nil {
-				errs[rep] = err
-				return
-			}
-			results[rep], errs[rep] = engine.Run()
-			if opts.OnReplicate != nil {
-				doneMu.Lock()
-				done++
-				n := done
-				doneMu.Unlock()
-				opts.OnReplicate(n, sc.Repetitions)
-			}
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return aggregate(c, sc, results), nil
+	return out[0], nil
 }
 
-func aggregate(c Case, sc Scale, results []*core.Result) *CaseResult {
+// Aggregate folds one scenario's replicate results into a CaseResult: the
+// Fig 4 series, final-generation summaries, per-environment views, request
+// counts, and the pooled strategy census.
+func Aggregate(c Case, sc Scale, results []*core.Result) *CaseResult {
 	out := &CaseResult{Case: c, Scale: sc, Census: strategy.NewCensus()}
 
 	var coopAcc, envMeanAcc stats.SeriesAccumulator

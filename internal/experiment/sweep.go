@@ -22,12 +22,15 @@ type SweepPoint struct {
 }
 
 // CSNSweep runs one single-environment evolution per CSN count and
-// returns the evolved cooperation level at each. Runs are sequential in
-// csnCounts but parallel across repetitions (via the same worker pattern
-// as RunCase). Deterministic for a fixed seed.
+// returns the evolved cooperation level at each. All (point × replicate)
+// pairs are flattened into one shared worker pool, so workers cross sweep
+// points without a barrier and stay busy even when repetitions are fewer
+// than cores. Deterministic for a fixed seed — each point's master seed is
+// derived in csnCounts order, so results are bit-identical to running the
+// points one by one.
 func CSNSweep(csnCounts []int, mode network.PathMode, sc Scale, opts Options) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(csnCounts))
 	master := rng.New(opts.Seed)
+	jobs := make([]job, 0, len(csnCounts))
 	for _, csn := range csnCounts {
 		if csn < 0 || csn >= 50 {
 			return nil, fmt.Errorf("experiment: CSN count %d outside [0,50)", csn)
@@ -38,14 +41,15 @@ func CSNSweep(csnCounts []int, mode network.PathMode, sc Scale, opts Options) ([
 			Environments: []tournament.Environment{{Name: fmt.Sprintf("CSN%d", csn), CSN: csn}},
 			Mode:         mode,
 		}
-		res, err := RunCase(c, sc, Options{
-			Seed:        master.Uint64(),
-			Parallelism: opts.Parallelism,
-		})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, SweepPoint{CSN: csn, Cooperation: res.FinalCoop})
+		jobs = append(jobs, caseJob(c, sc, master.Uint64()))
+	}
+	results, err := runJobs(jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, len(csnCounts))
+	for i, res := range results {
+		out[i] = SweepPoint{CSN: csnCounts[i], Cooperation: res.FinalCoop}
 	}
 	return out, nil
 }

@@ -1,0 +1,102 @@
+// Package runner provides the single bounded worker pool every experiment
+// workload fans out over. Callers flatten their work — typically the cross
+// product of (scenario × replicate) — into one indexed queue of tasks;
+// workers pull the next unit from the shared queue as they free up, so
+// there is no barrier between scenarios: a worker that finishes the last
+// replicate of one sweep point immediately steals the first replicate of
+// the next.
+//
+// The pool makes no scheduling guarantees beyond boundedness, so tasks
+// must not depend on execution order. Determinism is the caller's job and
+// is cheap to provide: derive every task's random seed up front (before
+// submitting), have each task write only to its own index, and aggregate
+// after Run returns. The experiment package follows exactly that pattern,
+// which is why its results are bit-identical at any parallelism level.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is one unit of work. The argument is the task's index in the
+// flattened queue; implementations write results to caller-owned storage
+// at that index.
+type Task func(i int) error
+
+// Options tune a Run invocation.
+type Options struct {
+	// Parallelism is the worker count; ≤0 means GOMAXPROCS. It is capped
+	// at the number of tasks.
+	Parallelism int
+	// OnDone, when non-nil, is called as each task finishes (possibly
+	// from multiple goroutines) with the number completed so far and the
+	// total queue length.
+	OnDone func(done, total int)
+}
+
+// Workers resolves the effective worker count for n tasks.
+func (o Options) Workers(n int) int {
+	p := o.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Run executes n tasks over a bounded worker pool and blocks until all
+// have finished. Every task runs even when some fail; the returned error
+// is the lowest-indexed failure, so error reporting is deterministic
+// regardless of scheduling.
+func Run(n int, task Task, opts Options) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := opts.Workers(n)
+	errs := make([]error, n)
+	var next atomic.Int64 // next unclaimed queue index
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = safeRun(task, i)
+				if opts.OnDone != nil {
+					opts.OnDone(int(done.Add(1)), n)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// safeRun converts a task panic into an error so one bad work unit cannot
+// take down the whole pool (and with it every other unit's result).
+func safeRun(task Task, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: task %d panicked: %v", i, r)
+		}
+	}()
+	return task(i)
+}

@@ -1,0 +1,169 @@
+package runner
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunExecutesEveryTask(t *testing.T) {
+	const n = 100
+	var ran [n]atomic.Int32
+	err := Run(n, func(i int) error {
+		ran[i].Add(1)
+		return nil
+	}, Options{Parallelism: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if got := ran[i].Load(); got != 1 {
+			t.Errorf("task %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestRunBoundsParallelism(t *testing.T) {
+	const n, workers = 64, 4
+	var active, peak atomic.Int32
+	err := Run(n, func(int) error {
+		if a := active.Add(1); a > peak.Load() {
+			peak.Store(a)
+		}
+		defer active.Add(-1)
+		return nil
+	}, Options{Parallelism: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent tasks, bound is %d", p, workers)
+	}
+}
+
+func TestRunReturnsLowestIndexedError(t *testing.T) {
+	wantErr := errors.New("boom 3")
+	err := Run(10, func(i int) error {
+		if i == 3 {
+			return wantErr
+		}
+		if i == 7 {
+			return errors.New("boom 7")
+		}
+		return nil
+	}, Options{Parallelism: 10})
+	if err != wantErr {
+		t.Errorf("got %v, want the index-3 error", err)
+	}
+}
+
+func TestRunKeepsGoingAfterError(t *testing.T) {
+	var ran atomic.Int32
+	err := Run(20, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early failure")
+		}
+		return nil
+	}, Options{Parallelism: 2})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if got := ran.Load(); got != 20 {
+		t.Errorf("%d tasks ran after early failure, want all 20", got)
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	err := Run(4, func(i int) error {
+		if i == 2 {
+			panic("kaboom")
+		}
+		return nil
+	}, Options{Parallelism: 4})
+	if err == nil {
+		t.Fatal("panic not converted to error")
+	}
+	if want := "task 2 panicked"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not mention %q", err, want)
+	}
+}
+
+func TestRunProgressCallback(t *testing.T) {
+	const n = 9
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	var last int
+	err := Run(n, func(int) error { return nil }, Options{
+		Parallelism: 3,
+		OnDone: func(done, total int) {
+			if total != n {
+				t.Errorf("total = %d", total)
+			}
+			mu.Lock()
+			seen[done] = true
+			if done > last {
+				last = done
+			}
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n || last != n {
+		t.Errorf("progress values %v, want 1..%d", seen, n)
+	}
+}
+
+func TestRunZeroTasks(t *testing.T) {
+	if err := Run(0, func(int) error { return errors.New("never") }, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if w := (Options{Parallelism: 8}).Workers(3); w != 3 {
+		t.Errorf("workers capped to %d, want 3", w)
+	}
+	if w := (Options{Parallelism: 2}).Workers(100); w != 2 {
+		t.Errorf("workers = %d, want 2", w)
+	}
+	if w := (Options{}).Workers(1000); w < 1 {
+		t.Errorf("default workers = %d", w)
+	}
+}
+
+func TestRunNoBarrierBetweenGroups(t *testing.T) {
+	// Two "scenarios" flattened into one queue: tasks 0–1 are group A,
+	// task 2 is group B. Task 0 blocks until group B has started, so the
+	// run can only finish if the worker that completes task 1 steals the
+	// group-B unit while a group-A unit is still in flight — impossible
+	// under a per-group barrier.
+	release := make(chan struct{})
+	var bRan atomic.Bool
+	err := Run(3, func(i int) error {
+		switch i {
+		case 0:
+			<-release
+		case 2:
+			bRan.Store(true)
+			close(release)
+		}
+		return nil
+	}, Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bRan.Load() {
+		t.Error("group-B unit never ran")
+	}
+}
+
+func BenchmarkRunOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Run(256, func(int) error { return nil }, Options{Parallelism: 8})
+	}
+}

@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"adhocga/internal/tournament"
+)
+
+// Family is a named generator of related scenarios: the paper's fixed
+// evaluation plus the denser parameter sweeps the paper only samples.
+type Family struct {
+	Name        string
+	Description string
+	Specs       func() []Spec
+}
+
+// Families returns the registered scenario families, sorted by name.
+func Families() []Family {
+	fams := []Family{
+		{
+			Name:        "table4",
+			Description: "the paper's four Table 4 evaluation cases",
+			Specs:       Table4,
+		},
+		{
+			Name:        "csn-grid",
+			Description: "dense CSN × path-mode grid (0–45 selfish nodes, SP and LP)",
+			Specs:       CSNGrid,
+		},
+		{
+			Name:        "tournament-size",
+			Description: "tournament-size sweep at a fixed 20% selfish share",
+			Specs:       TournamentSizeSweep,
+		},
+		{
+			Name:        "mixed-env",
+			Description: "mixed-environment scenarios pairing benign and hostile conditions",
+			Specs:       MixedEnvironments,
+		},
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
+	return fams
+}
+
+// FamilyByName resolves a registered family.
+func FamilyByName(name string) (Family, error) {
+	for _, f := range Families() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Family{}, fmt.Errorf("scenario: unknown family %q (have %s)", name, familyNames())
+}
+
+// SpecByName searches every family for a scenario with the given name.
+func SpecByName(name string) (Spec, error) {
+	for _, f := range Families() {
+		for _, s := range f.Specs() {
+			if s.Name == name {
+				return s, nil
+			}
+		}
+	}
+	return Spec{}, fmt.Errorf("scenario: no scenario named %q in any family (have %s)", name, familyNames())
+}
+
+func familyNames() string {
+	names := ""
+	for i, f := range Families() {
+		if i > 0 {
+			names += ", "
+		}
+		names += f.Name
+	}
+	return names
+}
+
+// paperEnvs are TE1–TE4 of Table 1 in spec form, derived from the
+// tournament package's definition so there is one source of truth.
+func paperEnvs() []EnvSpec {
+	envs := tournament.PaperEnvironments()
+	specs := make([]EnvSpec, len(envs))
+	for i, e := range envs {
+		specs[i] = EnvSpec{Name: e.Name, CSN: e.CSN}
+	}
+	return specs
+}
+
+// Table4 returns the paper's four evaluation cases as specs. Their
+// resolved configurations are exactly what experiment.Cases() runs.
+func Table4() []Spec {
+	envs := paperEnvs()
+	return []Spec{
+		{ID: 1, Name: "case 1 (TE1, SP)", Environments: envs[:1], PathMode: "SP"},
+		{ID: 2, Name: "case 2 (TE4/30 CSN, SP)", Environments: envs[3:4], PathMode: "SP"},
+		{ID: 3, Name: "case 3 (TE1-4, SP)", Environments: envs, PathMode: "SP"},
+		{ID: 4, Name: "case 4 (TE1-4, LP)", Environments: envs, PathMode: "LP"},
+	}
+}
+
+// CSNGrid returns the dense selfish-node grid: every CSN count from 0 to
+// 45 in steps of 5, crossed with both path modes. The paper samples this
+// surface at four points; the grid locates where cooperation collapses
+// and how the LP penalty grows with hostility.
+func CSNGrid() []Spec {
+	var specs []Spec
+	for _, mode := range []string{"SP", "LP"} {
+		for csn := 0; csn <= 45; csn += 5 {
+			specs = append(specs, Spec{
+				Name:         fmt.Sprintf("grid CSN=%d (%s)", csn, mode),
+				Environments: []EnvSpec{{CSN: csn}},
+				PathMode:     mode,
+			})
+		}
+	}
+	return specs
+}
+
+// TournamentSizeSweep varies the paper's T at a fixed 20% selfish share
+// (the TE2 ratio), asking whether cooperation enforcement survives in
+// smaller neighborhoods where reputations are sampled less often.
+func TournamentSizeSweep() []Spec {
+	var specs []Spec
+	for _, size := range []int{20, 30, 40, 50, 60, 80, 100} {
+		specs = append(specs, Spec{
+			Name:           fmt.Sprintf("tsize T=%d CSN=%d", size, size/5),
+			Environments:   []EnvSpec{{CSN: size / 5}},
+			PathMode:       "SP",
+			TournamentSize: size,
+		})
+	}
+	return specs
+}
+
+// MixedEnvironments pairs benign and hostile conditions inside one
+// evaluation pass — coarser mixes than the paper's TE1–TE4 ladder,
+// including an extreme benign/hostile split the paper never tests.
+func MixedEnvironments() []Spec {
+	envs := paperEnvs()
+	return []Spec{
+		{Name: "mixed TE1+TE4 (SP)", Environments: []EnvSpec{envs[0], envs[3]}, PathMode: "SP"},
+		{Name: "mixed TE1+TE4 (LP)", Environments: []EnvSpec{envs[0], envs[3]}, PathMode: "LP"},
+		{Name: "mixed TE2+TE3 (SP)", Environments: []EnvSpec{envs[1], envs[2]}, PathMode: "SP"},
+		{Name: "mixed extremes 0+40 (SP)", Environments: []EnvSpec{{CSN: 0}, {CSN: 40}}, PathMode: "SP"},
+	}
+}

@@ -1,0 +1,227 @@
+// Package scenario defines the declarative, JSON-serializable description
+// of an evolutionary experiment: which tournament environments to expose
+// the population to, the path mode, tournament and GA parameters, the
+// computational scale, and the seed policy. A Spec is the unit the shared
+// work runner (internal/runner, via internal/experiment) schedules — every
+// workload, from the paper's four Table 4 cases to user-authored JSON
+// files, flattens to (Spec × replicate) work units.
+//
+// A Spec only pins what it cares about: zero-valued fields fall back to
+// the paper's §6.1 parameterization and to the Scale the run was invoked
+// at, so a minimal spec is just a name and an environment list. The
+// registry (registry.go) provides named families of ready-made specs
+// beyond the paper's evaluation — dense CSN×path-mode grids,
+// tournament-size sweeps, and mixed-environment scenarios.
+package scenario
+
+import (
+	"fmt"
+
+	"adhocga/internal/core"
+	"adhocga/internal/ga"
+	"adhocga/internal/network"
+	"adhocga/internal/tournament"
+)
+
+// Scale selects how much of the paper's computational budget to spend; it
+// supplies the defaults for every Spec field it shares. The experiment
+// package defines the standard presets (smoke, default, paper).
+type Scale struct {
+	Name        string
+	Generations int
+	Rounds      int
+	Repetitions int
+}
+
+// EnvSpec is one tournament environment: a display name and the number of
+// constantly selfish nodes among the participants. An empty name defaults
+// to "CSN<n>".
+type EnvSpec struct {
+	Name string `json:"name,omitempty"`
+	CSN  int    `json:"csn"`
+}
+
+// GASpec overrides genetic-algorithm parameters. Zero/nil fields keep the
+// paper's §6.1 values (binary tournament selection, one-point crossover
+// with probability 0.9, per-bit mutation 0.001, no elitism).
+type GASpec struct {
+	// SelectionTournament is the k of k-way tournament selection.
+	SelectionTournament int `json:"selection_tournament,omitempty"`
+	// CrossoverProb and MutationProb are pointers so an explicit zero is
+	// distinguishable from "keep the paper's value".
+	CrossoverProb *float64 `json:"crossover_prob,omitempty"`
+	MutationProb  *float64 `json:"mutation_prob,omitempty"`
+	Elitism       int      `json:"elitism,omitempty"`
+}
+
+// Spec declaratively describes one evolutionary experiment. The zero value
+// of every field except Name and Environments means "use the default":
+// path mode SP, the paper's tournament and GA parameters, and the scale of
+// the enclosing run.
+type Spec struct {
+	// ID is an optional numeric tag carried through to reports (the
+	// paper's Table 4 cases use 1–4).
+	ID   int    `json:"id,omitempty"`
+	Name string `json:"name"`
+	// Environments lists the tournament environments each generation is
+	// evaluated in (Fig 3 scheme).
+	Environments []EnvSpec `json:"environments"`
+	// PathMode is "SP" (shorter paths, the default) or "LP" (longer paths).
+	PathMode string `json:"path_mode,omitempty"`
+	// TournamentSize is the paper's T (default 50).
+	TournamentSize int `json:"tournament_size,omitempty"`
+	// Rounds is the paper's R, rounds per tournament (default: the scale's).
+	Rounds int `json:"rounds,omitempty"`
+	// PlaysPerEnv is the paper's L, plays per environment (default 2).
+	PlaysPerEnv int `json:"plays_per_env,omitempty"`
+	// Population is the paper's N, evolving strategies (default 100).
+	Population int `json:"population,omitempty"`
+	// Generations and Repetitions default to the scale's.
+	Generations int `json:"generations,omitempty"`
+	Repetitions int `json:"repetitions,omitempty"`
+	// Seed, when nonzero, pins this scenario's master seed regardless of
+	// the seed the run was invoked with; replicate seeds are always
+	// derived from the master by splitting, never used directly.
+	Seed uint64 `json:"seed,omitempty"`
+	// GA overrides the genetic-algorithm parameters.
+	GA *GASpec `json:"ga,omitempty"`
+}
+
+// Validate checks the spec's structural invariants. Parameter interactions
+// (e.g. tournament size vs population) are checked when the spec is built
+// into a core.Config.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec has no name")
+	}
+	if len(s.Environments) == 0 {
+		return fmt.Errorf("scenario %q: no environments", s.Name)
+	}
+	for _, env := range s.Environments {
+		if env.CSN < 0 {
+			return fmt.Errorf("scenario %q: environment %q has negative CSN", s.Name, env.Name)
+		}
+	}
+	if _, err := s.Mode(); err != nil {
+		return err
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"tournament_size", s.TournamentSize},
+		{"rounds", s.Rounds},
+		{"plays_per_env", s.PlaysPerEnv},
+		{"population", s.Population},
+		{"generations", s.Generations},
+		{"repetitions", s.Repetitions},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("scenario %q: negative %s", s.Name, f.name)
+		}
+	}
+	if s.GA != nil {
+		if p := s.GA.CrossoverProb; p != nil && (*p < 0 || *p > 1) {
+			return fmt.Errorf("scenario %q: crossover_prob %v outside [0,1]", s.Name, *p)
+		}
+		if p := s.GA.MutationProb; p != nil && (*p < 0 || *p > 1) {
+			return fmt.Errorf("scenario %q: mutation_prob %v outside [0,1]", s.Name, *p)
+		}
+		if s.GA.SelectionTournament < 0 || s.GA.Elitism < 0 {
+			return fmt.Errorf("scenario %q: negative GA parameter", s.Name)
+		}
+	}
+	return nil
+}
+
+// Mode resolves the spec's path mode; empty means shorter paths.
+func (s Spec) Mode() (network.PathMode, error) {
+	switch s.PathMode {
+	case "", "SP", "sp":
+		return network.ShorterPaths(), nil
+	case "LP", "lp":
+		return network.LongerPaths(), nil
+	default:
+		return network.PathMode{}, fmt.Errorf("scenario %q: unknown path mode %q (want SP or LP)", s.Name, s.PathMode)
+	}
+}
+
+// Envs converts the environment list to the tournament package's form,
+// filling in default names.
+func (s Spec) Envs() []tournament.Environment {
+	envs := make([]tournament.Environment, len(s.Environments))
+	for i, e := range s.Environments {
+		name := e.Name
+		if name == "" {
+			name = fmt.Sprintf("CSN%d", e.CSN)
+		}
+		envs[i] = tournament.Environment{Name: name, CSN: e.CSN}
+	}
+	return envs
+}
+
+// Resolve fills the spec's zero-valued scale fields from sc and returns
+// the completed copy. The spec wins wherever it pins a value.
+func (s Spec) Resolve(sc Scale) Spec {
+	if s.Generations == 0 {
+		s.Generations = sc.Generations
+	}
+	if s.Rounds == 0 {
+		s.Rounds = sc.Rounds
+	}
+	if s.Repetitions == 0 {
+		s.Repetitions = sc.Repetitions
+	}
+	return s
+}
+
+// MasterSeed resolves the scenario's master seed: its own pinned Seed if
+// set, otherwise the fallback from the run invocation.
+func (s Spec) MasterSeed(fallback uint64) uint64 {
+	if s.Seed != 0 {
+		return s.Seed
+	}
+	return fallback
+}
+
+// Config builds the core configuration for one replicate with the given
+// replicate seed. It starts from the paper's §6.1 parameterization and
+// applies only the overrides the spec pins, so a default spec replays the
+// paper exactly. Call Resolve first if the spec leaves scale fields to the
+// enclosing run.
+func (s Spec) Config(seed uint64) (core.Config, error) {
+	mode, err := s.Mode()
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg := core.PaperConfig(s.Envs(), mode, seed)
+	cfg.Generations = s.Generations
+	cfg.Eval.Tournament.Rounds = s.Rounds
+	if s.Population > 0 {
+		cfg.PopulationSize = s.Population
+	}
+	if s.TournamentSize > 0 {
+		cfg.Eval.TournamentSize = s.TournamentSize
+	}
+	if s.PlaysPerEnv > 0 {
+		cfg.Eval.PlaysPerEnv = s.PlaysPerEnv
+	}
+	if s.GA != nil {
+		if s.GA.SelectionTournament > 0 {
+			cfg.GA.Selector = ga.TournamentSelector{Size: s.GA.SelectionTournament}
+		}
+		if s.GA.CrossoverProb != nil {
+			cfg.GA.CrossoverProb = *s.GA.CrossoverProb
+		}
+		if s.GA.MutationProb != nil {
+			cfg.GA.MutationProb = *s.GA.MutationProb
+		}
+		if s.GA.Elitism > 0 {
+			cfg.GA.Elitism = s.GA.Elitism
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	return cfg, nil
+}
