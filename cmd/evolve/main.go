@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"adhocga/internal/experiment"
@@ -30,6 +32,13 @@ import (
 )
 
 func main() {
+	// All work happens in run so that deferred cleanup — stopping the CPU
+	// profile, writing the heap profile — executes before the process
+	// exits; os.Exit here would skip defers and truncate profiles.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		caseID      = flag.Int("case", 1, "evaluation case 1-4 (Table 4); ignored with -scenario")
 		scenarioArg = flag.String("scenario", "", "scenario JSON file, registered family, or registered scenario name")
@@ -42,8 +51,40 @@ func main() {
 		csvPath     = flag.String("csv", "", "write the cooperation series as CSV to this file (single scenario only)")
 		savePath    = flag.String("save", "", "write the final strategy census to this file (ungrouped strategy + share per line; strings are accepted by adhocsim -mix); single scenario only")
 		list        = flag.Bool("list-scenarios", false, "list registered scenario families and exit")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // material allocations only, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *list {
 		t := report.NewTable("registered scenario families", "family", "scenarios", "description")
@@ -51,7 +92,7 @@ func main() {
 			t.AddRow(f.Name, fmt.Sprint(len(f.Specs())), f.Description)
 		}
 		fmt.Print(t.Render())
-		return
+		return 0
 	}
 
 	sc := experiment.Scale{Name: "custom", Generations: *generations, Rounds: *rounds, Repetitions: *reps}
@@ -70,11 +111,11 @@ func main() {
 		specs, err := scenario.FromArg(*scenarioArg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		if (*csvPath != "" || *savePath != "") && len(specs) != 1 {
 			fmt.Fprintln(os.Stderr, "-csv/-save need a single scenario; got", len(specs))
-			os.Exit(2)
+			return 2
 		}
 		// Explicitly-set scale flags win over scenario pins (matching
 		// adhocsim's -scenario precedence); unset flags only provide
@@ -100,19 +141,19 @@ func main() {
 		results, err = experiment.RunScenarios(runs, sc, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	} else {
 		c, err := experiment.CaseByID(*caseID)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		opts.Seed = *seed
 		res, err := experiment.RunCase(c, sc, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		results = []*experiment.CaseResult{res}
 	}
@@ -127,17 +168,18 @@ func main() {
 	if *csvPath != "" {
 		if err := writeCSV(*csvPath, results[0]); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("cooperation series written to %s\n", *csvPath)
 	}
 	if *savePath != "" {
 		if err := writeCensus(*savePath, results[0]); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("final census written to %s\n", *savePath)
 	}
+	return 0
 }
 
 func printResult(res *experiment.CaseResult) {

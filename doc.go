@@ -23,6 +23,16 @@
 //   - RunMix plays fixed (non-evolved) behavior mixes through the same
 //     network model for baseline comparisons.
 //
+// The simulation core is dense and allocation-free in steady state:
+// NodeIDs are dense integers (enforced by tournament.BuildRegistry), so
+// reputation memory is a flat NodeID-indexed slice with cached forwarding
+// rates and Fig 1b trust levels maintained lazily on counter change, path
+// rating consumes the store's dense []float64 rate view, and the game and
+// tournament loops reuse scratch buffers instead of allocating — with
+// results bit-identical to the original map-based implementation (golden
+// tests pin the exact float bits). See DESIGN.md for the density
+// invariant and the README "Performance" section for measurements.
+//
 // Implementation lives in internal/ packages (rng, bitstring, strategy,
 // trust, network, game, tournament, ga, metrics, scenario, runner,
 // experiment, baselines, ipdrp); this package re-exports the surface a

@@ -18,7 +18,7 @@ package main
 import (
 	"fmt"
 	"log"
-	"sort"
+	"slices"
 
 	"adhocga/internal/game"
 	"adhocga/internal/mobility"
@@ -53,7 +53,7 @@ func main() {
 		hops = append(hops, h)
 		total += c
 	}
-	sort.Ints(hops)
+	slices.Sort(hops)
 	for _, h := range hops {
 		fmt.Printf("  %2d hops: %5.1f%%\n", h, float64(hist[h])/float64(total)*100)
 	}

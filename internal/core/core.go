@@ -178,6 +178,14 @@ func New(cfg Config) (*Engine, error) {
 		e.csn[i] = game.NewSelfish(network.NodeID(cfg.PopulationSize + i))
 	}
 	e.registry = tournament.BuildRegistry(e.normals, e.csn)
+	// Pre-size every dense reputation store to the registry and install
+	// the configured trust table, so the generational loop never grows a
+	// store or recomputes cached levels mid-run.
+	table := cfg.Eval.Tournament.Game.TrustTable
+	for _, p := range e.registry {
+		p.Rep.EnsureSize(len(e.registry))
+		p.Rep.SetTable(table)
+	}
 	return e, nil
 }
 

@@ -1,0 +1,65 @@
+package game
+
+import (
+	"testing"
+
+	"adhocga/internal/network"
+	"adhocga/internal/strategy"
+)
+
+// benchPlayers builds a source plus k intermediates with mixed behavior and
+// warms every reputation store so the benchmark measures the steady state
+// (all observation records already exist).
+func benchPlayers(k int) (*Player, []*Player, Config) {
+	cfg := DefaultConfig()
+	src := NewNormal(0, strategy.AllForward())
+	inters := make([]*Player, k)
+	for i := range inters {
+		s := strategy.AllForward()
+		if i%3 == 2 {
+			s = strategy.ForwardAtOrAbove(strategy.Trust1, strategy.Forward)
+		}
+		inters[i] = NewNormal(network.NodeID(i+1), s)
+	}
+	for i := 0; i < 32; i++ {
+		Play(src, inters, &cfg, nil)
+	}
+	return src, inters, cfg
+}
+
+// TestPlayZeroAllocsSteadyState pins the dense-store guarantee: once every
+// participant's reputation records exist, a game performs no heap
+// allocations at all — no map inserts, no closures, no scratch growth.
+func TestPlayZeroAllocsSteadyState(t *testing.T) {
+	src, inters, cfg := benchPlayers(5)
+	allocs := testing.AllocsPerRun(1000, func() {
+		Play(src, inters, &cfg, nil)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Play allocates %v times per game, want 0", allocs)
+	}
+}
+
+// BenchmarkPlay measures one steady-state game on a 5-intermediate path:
+// decisions, payoffs, and the O(k²) reputation updates. The dense-store
+// acceptance bar is ≥2× ns/op over the map-based seed and 0 allocs/op.
+func BenchmarkPlay(b *testing.B) {
+	src, inters, cfg := benchPlayers(5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Play(src, inters, &cfg, nil)
+	}
+}
+
+// BenchmarkPlayLongPath is the same measurement at the paper's maximum path
+// length (9 intermediates = 10 hops), where the k² observation loop
+// dominates.
+func BenchmarkPlayLongPath(b *testing.B) {
+	src, inters, cfg := benchPlayers(9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Play(src, inters, &cfg, nil)
+	}
+}

@@ -192,15 +192,23 @@ func (p *Player) ResetForGeneration() {
 // together with the trust level that prices the decision in the payoff
 // table. Unknown sources are decided by strategy bit 12 and priced at
 // cfg.UnknownTrust.
+//
+// The trust level comes from the store's cache (maintained on every
+// observation), so a decision is a single dense lookup: no map probes, no
+// rate division. The store's table is re-synced from cfg when it differs —
+// a three-float compare in the common case — so custom-table configs stay
+// correct without explicit wiring.
 func (p *Player) Decide(src network.NodeID, cfg *Config) (strategy.Decision, strategy.TrustLevel) {
 	if cfg.BlindDecisions {
 		return p.Strategy.DecideUnknown(), cfg.UnknownTrust
 	}
-	tl, known := cfg.TrustTable.LevelOf(p.Rep, src)
+	if cfg.TrustTable != p.Rep.TrustTable() {
+		p.Rep.SetTable(cfg.TrustTable)
+	}
+	tl, act, known := p.Rep.Evaluate(src, cfg.ActivityBand)
 	if !known {
 		return p.Strategy.DecideUnknown(), cfg.UnknownTrust
 	}
-	act, _ := trust.ActivityOf(p.Rep, src, cfg.ActivityBand)
 	return p.Strategy.Decide(tl, act), tl
 }
 
@@ -226,6 +234,24 @@ type Recorder interface {
 // the dropper itself propagates the alert but records no observations, as
 // in the figure.
 func Play(src *Player, inters []*Player, cfg *Config, rec Recorder) bool {
+	var idbuf [network.MaxHops - 1]network.NodeID
+	var ids []network.NodeID
+	if len(inters) <= len(idbuf) {
+		ids = idbuf[:len(inters)]
+	} else {
+		ids = make([]network.NodeID, len(inters))
+	}
+	for i, p := range inters {
+		ids[i] = p.ID
+	}
+	return PlayIDs(src, inters, ids, cfg, rec)
+}
+
+// PlayIDs is Play for callers that already hold the intermediates' IDs —
+// the tournament passes the chosen path's Intermediates directly, which
+// skips re-gathering IDs from the players on every game.
+// ids[i] must equal inters[i].ID.
+func PlayIDs(src *Player, inters []*Player, ids []network.NodeID, cfg *Config, rec Recorder) bool {
 	firstDrop := -1
 	for i, node := range inters {
 		dec, tl := node.Decide(src.ID, cfg)
@@ -252,27 +278,23 @@ func Play(src *Player, inters []*Player, cfg *Config, rec Recorder) bool {
 		src.Acct.SourcePayoff += cfg.Payoffs.SourceFailure
 	}
 
-	// Reputation updates.
+	// Reputation updates: bulk observation runs over the dense stores
+	// (allocation-free in steady state — no closure, no map inserts, one
+	// store call per observer). Within 0..last, "forwarded" is simply
+	// j != firstDrop: on success firstDrop is -1, and on a drop
+	// last == firstDrop so only the dropper itself is observed as
+	// dropping. ObservePath skips the observer's own entry.
 	last := len(inters) - 1 // last intermediate that received the packet
 	if !delivered {
 		last = firstDrop
 	}
-	observe := func(observer *Player) {
-		for j := 0; j <= last; j++ {
-			if inters[j] == observer {
-				continue
-			}
-			forwarded := delivered || j < firstDrop
-			observer.Rep.Observe(inters[j].ID, forwarded)
-		}
-	}
-	observe(src)
+	src.Rep.ObservePath(ids[:last+1], src.ID, firstDrop)
 	upTo := last // on success, every intermediate observes
 	if !delivered {
 		upTo = firstDrop - 1 // the dropper records nothing
 	}
 	for i := 0; i <= upTo; i++ {
-		observe(inters[i])
+		inters[i].Rep.ObservePath(ids[:last+1], inters[i].ID, firstDrop)
 	}
 
 	if rec != nil {

@@ -11,8 +11,9 @@
 package ipdrp
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"adhocga/internal/bitstring"
 	"adhocga/internal/ga"
@@ -302,12 +303,11 @@ func (r *Result) Census() []CensusEntry {
 			Fraction: float64(n) / float64(len(r.FinalStrategies)),
 		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		fi, fj := out[i].Fraction, out[j].Fraction
-		if fi != fj {
-			return fi > fj
+	slices.SortFunc(out, func(a, b CensusEntry) int {
+		if c := cmp.Compare(b.Fraction, a.Fraction); c != 0 {
+			return c
 		}
-		return out[i].Strategy.Key() < out[j].Strategy.Key()
+		return cmp.Compare(a.Strategy.Key(), b.Strategy.Key())
 	})
 	return out
 }

@@ -29,6 +29,7 @@ type RouteProvider struct {
 
 	dstScratch []int
 	subset     []int
+	paths      []network.Path
 }
 
 // NewRouteProvider returns a provider with the given churn per game and up
@@ -47,6 +48,10 @@ func NewRouteProvider(m *Model, stepPerGame float64) *RouteProvider {
 // random reachable destination, and returns up to MaxAlternates
 // node-disjoint routes to it. An empty slice means the source currently
 // has no route to any probed destination.
+//
+// The returned paths and their intermediate slices are scratch buffers
+// owned by the provider (like network.Generator.Candidates) and are valid
+// until the next Candidates call; callers that retain paths must copy.
 func (rp *RouteProvider) Candidates(r *rng.Source, src network.NodeID, participants []network.NodeID) []network.Path {
 	if int(src) >= rp.model.Len() {
 		panic(fmt.Sprintf("mobility: participant %d outside model of %d nodes", src, rp.model.Len()))
@@ -79,14 +84,22 @@ func (rp *RouteProvider) Candidates(r *rng.Source, src network.NodeID, participa
 		if len(raw) == 0 {
 			continue
 		}
-		out := make([]network.Path, len(raw))
+		if cap(rp.paths) < len(raw) {
+			rp.paths = make([]network.Path, len(raw))
+		}
+		out := rp.paths[:len(raw)]
 		for k, p := range raw {
-			inter := make([]network.NodeID, len(p)-2)
+			inter := out[k].Intermediates
+			if cap(inter) < len(p)-2 {
+				inter = make([]network.NodeID, len(p)-2)
+			}
+			inter = inter[:len(p)-2]
 			for x, node := range p[1 : len(p)-1] {
 				inter[x] = network.NodeID(node)
 			}
 			out[k] = network.Path{Src: src, Dst: network.NodeID(dst), Intermediates: inter}
 		}
+		rp.paths = out
 		return out
 	}
 	return nil

@@ -15,20 +15,33 @@ import (
 // A Generator is stateful only through its scratch buffers (to keep the
 // per-game allocation count flat) and is not safe for concurrent use; each
 // tournament goroutine owns one.
+//
+// The intermediate pool (participants minus src and dst, order-preserving)
+// is never materialized: reads go through an epoch-stamped overlay where
+// only the handful of indices a path's partial Fisher–Yates shuffle has
+// touched hold explicit values and every other index maps straight into
+// the participants slice. Bumping the epoch resets the overlay in O(1),
+// which replaces both the per-game pool build and the per-path pool copy
+// of the naive implementation.
 type Generator struct {
 	mode PathMode
 
-	// scratch
-	ids     []int
-	pool    []int
-	sample  []int
-	scratch []int
-	paths   []Path
+	// scratch: the shuffle overlay and the returned paths
+	vals  []NodeID
+	stamp []uint32
+	epoch uint32
+	paths []Path
+
+	// lastSrcPos remembers where the previous call's source sat in the
+	// participants slice. Tournaments iterate sources in participant
+	// order, so position lastSrcPos+1 (cyclically) is almost always right
+	// and the O(n) scan below is a cold fallback.
+	lastSrcPos int
 }
 
 // NewGenerator returns a Generator for the given mode.
 func NewGenerator(mode PathMode) *Generator {
-	return &Generator{mode: mode}
+	return &Generator{mode: mode, lastSrcPos: -1}
 }
 
 // Mode returns the generator's path mode.
@@ -58,44 +71,88 @@ func (g *Generator) Candidates(r *rng.Source, src NodeID, participants []NodeID)
 	}
 	count := g.mode.Alternates.Sample(r, hops)
 
-	// Destination: uniform among participants except the source.
-	others := g.ids[:0]
-	for _, id := range participants {
-		if id != src {
-			others = append(others, int(id))
+	// Destination: uniform among participants except the source, drawn by
+	// index arithmetic — equivalent to sampling the order-preserving
+	// "everyone but src" list without materializing it.
+	srcPos := -1
+	if guess := (g.lastSrcPos + 1) % n; guess >= 0 && participants[guess] == src {
+		srcPos = guess
+	} else {
+		for i, id := range participants {
+			if id == src {
+				srcPos = i
+				break
+			}
 		}
 	}
-	g.ids = others
-	dst := NodeID(others[r.Intn(len(others))])
+	g.lastSrcPos = srcPos
+	m := n
+	if srcPos >= 0 {
+		m = n - 1
+	}
+	dstPos := r.Intn(m)
+	if srcPos >= 0 && dstPos >= srcPos {
+		dstPos++
+	}
+	dst := participants[dstPos]
 
-	// Intermediate pool: everyone except src and dst.
-	pool := g.pool[:0]
-	for _, id := range others {
-		if NodeID(id) != dst {
-			pool = append(pool, id)
-		}
+	// Virtual intermediate pool: everyone except src and dst, in
+	// participants order. p1 < p2 are the excluded positions; a pool index
+	// below p1 maps to itself, one below p2-1 skips p1, the rest skip
+	// both. With src absent (callers shouldn't, but the old behavior is
+	// preserved) only dst is excluded and p2 sits past the end.
+	p1, p2 := srcPos, dstPos
+	if p1 > p2 {
+		p1, p2 = p2, p1
 	}
-	g.pool = pool
+	poolLen := n - 2
+	if srcPos < 0 {
+		p1, p2 = dstPos, n
+		poolLen = n - 1
+	}
+	if len(g.stamp) < n {
+		g.vals = make([]NodeID, n)
+		g.stamp = make([]uint32, n)
+		g.epoch = 0
+	}
+	pool := func(i int) NodeID {
+		if g.stamp[i] == g.epoch {
+			return g.vals[i]
+		}
+		j := i
+		if j >= p1 {
+			j++
+		}
+		if j >= p2 {
+			j++
+		}
+		return participants[j]
+	}
 
 	k := hops - 1
-	if cap(g.sample) < k {
-		g.sample = make([]int, k)
-	}
-	sample := g.sample[:k]
-
 	if cap(g.paths) < count {
 		g.paths = make([]Path, count)
 	}
 	paths := g.paths[:count]
 	for i := 0; i < count; i++ {
-		g.scratch = r.SampleWithoutReplacement(sample, pool, g.scratch)
 		inter := paths[i].Intermediates
 		if cap(inter) < k {
 			inter = make([]NodeID, k)
 		}
 		inter = inter[:k]
-		for j, v := range sample {
-			inter[j] = NodeID(v)
+		// Fresh overlay per path: identical draws and samples to running
+		// the partial Fisher–Yates shuffle on a fresh pool copy.
+		g.epoch++
+		if g.epoch == 0 { // wrapped: stale stamps could alias; hard-reset
+			clear(g.stamp)
+			g.epoch = 1
+		}
+		for x := 0; x < k; x++ {
+			j := x + r.Intn(poolLen-x)
+			vx, vj := pool(x), pool(j)
+			g.vals[x], g.stamp[x] = vj, g.epoch
+			g.vals[j], g.stamp[j] = vx, g.epoch
+			inter[x] = vj
 		}
 		paths[i] = Path{Src: src, Dst: dst, Intermediates: inter}
 	}
@@ -103,19 +160,23 @@ func (g *Generator) Candidates(r *rng.Source, src NodeID, participants []NodeID)
 	return paths
 }
 
+// UnknownRate is the paper's default forwarding rate assumed for nodes the
+// rater has no data about when rating a path (§3.1).
+const UnknownRate = 0.5
+
 // RatePath computes the §3.1 path rating: the product of the forwarding
-// rates of all intermediates as known to the rater. rate returns a node's
-// forwarding rate and whether the rater has data about it; unknown nodes
-// contribute the paper's default rate of 0.5.
-func RatePath(p Path, rate func(NodeID) (float64, bool)) float64 {
-	const unknownRate = 0.5
+// rates of all intermediates as known to the rater. rates is the rater's
+// dense NodeID-indexed rate view (trust.Store.PathRates): known nodes hold
+// their pf/ps, unknown ones UnknownRate; IDs at or beyond len(rates) count
+// as unknown.
+func RatePath(p Path, rates []float64) float64 {
 	rating := 1.0
 	for _, id := range p.Intermediates {
-		r, known := rate(id)
-		if !known {
-			r = unknownRate
+		f := UnknownRate
+		if int(id) < len(rates) {
+			f = rates[id]
 		}
-		rating *= r
+		rating *= f
 	}
 	return rating
 }
@@ -123,15 +184,15 @@ func RatePath(p Path, rate func(NodeID) (float64, bool)) float64 {
 // SelectBest returns the index of the candidate with the highest rating
 // under RatePath; ties break uniformly at random (the paper does not
 // specify tie handling). It panics on an empty candidate set.
-func SelectBest(r *rng.Source, candidates []Path, rate func(NodeID) (float64, bool)) int {
+func SelectBest(r *rng.Source, candidates []Path, rates []float64) int {
 	if len(candidates) == 0 {
 		panic("network: SelectBest with no candidates")
 	}
 	bestIdx := 0
-	bestRating := RatePath(candidates[0], rate)
+	bestRating := RatePath(candidates[0], rates)
 	ties := 1
 	for i := 1; i < len(candidates); i++ {
-		rating := RatePath(candidates[i], rate)
+		rating := RatePath(candidates[i], rates)
 		switch {
 		case rating > bestRating:
 			bestIdx, bestRating, ties = i, rating, 1

@@ -101,39 +101,32 @@ func TestCandidatesHopFrequenciesFollowMode(t *testing.T) {
 }
 
 func TestRatePath(t *testing.T) {
-	rates := map[NodeID]float64{1: 0.9, 2: 0.8}
-	rate := func(id NodeID) (float64, bool) {
-		r, ok := rates[id]
-		return r, ok
-	}
+	// Dense rate view: ids 0..2 covered, id 3 beyond the slice (unknown).
+	rates := []float64{UnknownRate, 0.9, 0.8}
 	p := Path{Src: 0, Dst: 5, Intermediates: []NodeID{1, 2}}
-	if got := RatePath(p, rate); math.Abs(got-0.72) > 1e-12 {
+	if got := RatePath(p, rates); math.Abs(got-0.72) > 1e-12 {
 		t.Errorf("RatePath = %v, want 0.72", got)
 	}
-	// Unknown intermediate contributes 0.5.
+	// Unknown intermediate (beyond the view) contributes 0.5.
 	p2 := Path{Src: 0, Dst: 5, Intermediates: []NodeID{1, 3}}
-	if got := RatePath(p2, rate); math.Abs(got-0.45) > 1e-12 {
+	if got := RatePath(p2, rates); math.Abs(got-0.45) > 1e-12 {
 		t.Errorf("RatePath with unknown = %v, want 0.45", got)
 	}
 	// Empty path rates 1 (nothing can drop).
-	if got := RatePath(Path{Src: 0, Dst: 1}, rate); got != 1 {
+	if got := RatePath(Path{Src: 0, Dst: 1}, rates); got != 1 {
 		t.Errorf("empty path rating = %v", got)
 	}
 }
 
 func TestSelectBestPicksHighestRating(t *testing.T) {
 	r := rng.New(10)
-	rates := map[NodeID]float64{1: 0.1, 2: 0.9}
-	rate := func(id NodeID) (float64, bool) {
-		v, ok := rates[id]
-		return v, ok
-	}
+	rates := []float64{UnknownRate, 0.1, 0.9}
 	candidates := []Path{
 		{Src: 0, Dst: 9, Intermediates: []NodeID{1}},
 		{Src: 0, Dst: 9, Intermediates: []NodeID{2}},
 	}
 	for i := 0; i < 100; i++ {
-		if got := SelectBest(r, candidates, rate); got != 1 {
+		if got := SelectBest(r, candidates, rates); got != 1 {
 			t.Fatalf("SelectBest = %d, want 1", got)
 		}
 	}
@@ -141,7 +134,7 @@ func TestSelectBestPicksHighestRating(t *testing.T) {
 
 func TestSelectBestUniformTieBreak(t *testing.T) {
 	r := rng.New(11)
-	rate := func(NodeID) (float64, bool) { return 0, false } // all unknown → equal ratings
+	var rates []float64 // all unknown → equal ratings
 	candidates := []Path{
 		{Src: 0, Dst: 9, Intermediates: []NodeID{1}},
 		{Src: 0, Dst: 9, Intermediates: []NodeID{2}},
@@ -150,7 +143,7 @@ func TestSelectBestUniformTieBreak(t *testing.T) {
 	counts := make([]int, 3)
 	const draws = 30000
 	for i := 0; i < draws; i++ {
-		counts[SelectBest(r, candidates, rate)]++
+		counts[SelectBest(r, candidates, rates)]++
 	}
 	for i, c := range counts {
 		got := float64(c) / draws
@@ -166,7 +159,7 @@ func TestSelectBestPanicsOnEmpty(t *testing.T) {
 			t.Fatal("no panic")
 		}
 	}()
-	SelectBest(rng.New(1), nil, func(NodeID) (float64, bool) { return 0, false })
+	SelectBest(rng.New(1), nil, nil)
 }
 
 // Property: the path rating is always in [0,1] when all rates are, and
@@ -176,19 +169,16 @@ func TestRatePathMonotoneProperty(t *testing.T) {
 	f := func(seed uint64, n uint8) bool {
 		rr := rng.New(seed)
 		k := int(n)%8 + 1
-		rates := make(map[NodeID]float64)
+		rates := make([]float64, k+1)
+		rates[0] = UnknownRate
 		inter := make([]NodeID, k)
 		for i := range inter {
 			inter[i] = NodeID(i + 1)
 			rates[inter[i]] = rr.Float64()
 		}
-		rate := func(id NodeID) (float64, bool) {
-			v, ok := rates[id]
-			return v, ok
-		}
 		full := Path{Src: 0, Dst: 99, Intermediates: inter}
 		prefix := Path{Src: 0, Dst: 99, Intermediates: inter[:k-1]}
-		rf, rp := RatePath(full, rate), RatePath(prefix, rate)
+		rf, rp := RatePath(full, rates), RatePath(prefix, rates)
 		return rf >= 0 && rf <= 1 && rf <= rp
 	}
 	_ = r
@@ -211,10 +201,13 @@ func BenchmarkSelectBest(b *testing.B) {
 	r := rng.New(1)
 	g := NewGenerator(LongerPaths())
 	parts := participantSet(50)
-	rate := func(id NodeID) (float64, bool) { return float64(id) / 50, true }
+	rates := make([]float64, 50)
+	for i := range rates {
+		rates[i] = float64(i) / 50
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		paths := g.Candidates(r, 0, parts)
-		_ = SelectBest(r, paths, rate)
+		_ = SelectBest(r, paths, rates)
 	}
 }

@@ -1,13 +1,10 @@
 package rng
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Categorical is a fixed discrete distribution over the outcomes
 // 0..len(weights)-1. Construction validates and normalizes the weights
-// once; sampling is O(log n) via binary search on the cumulative table.
+// once; sampling scans the (short) cumulative table linearly.
 //
 // A Categorical is immutable after construction and therefore safe to
 // share across goroutines (each goroutine still needs its own Source).
@@ -64,8 +61,13 @@ func (c *Categorical) Sample(s *Source) int {
 	u := s.Float64() * total
 	// First index whose cumulative weight strictly exceeds u. Zero-weight
 	// outcomes have cum[i] == cum[i-1] and can never be selected (not even
-	// at u == 0, which Float64 can return).
-	i := sort.Search(len(c.cum), func(i int) bool { return c.cum[i] > u })
+	// at u == 0, which Float64 can return). A linear scan beats binary
+	// search at the handful of outcomes these tables have (and sits on a
+	// hot path: two draws per generated game).
+	i := 0
+	for i < len(c.cum) && c.cum[i] <= u {
+		i++
+	}
 	if i == len(c.cum) { // u landed exactly on the total; take the last positive-weight outcome
 		i--
 		for i > 0 && c.cum[i] == c.cum[i-1] {

@@ -1,8 +1,9 @@
 package scenario
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"adhocga/internal/tournament"
 )
@@ -39,7 +40,7 @@ func Families() []Family {
 			Specs:       MixedEnvironments,
 		},
 	}
-	sort.Slice(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
+	slices.SortFunc(fams, func(a, b Family) int { return cmp.Compare(a.Name, b.Name) })
 	return fams
 }
 

@@ -8,7 +8,7 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Mean returns the arithmetic mean of xs, or NaN for an empty slice.
@@ -69,7 +69,7 @@ func Quantile(xs []float64, q float64) float64 {
 		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
 	}
 	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
+	slices.Sort(sorted)
 	if len(sorted) == 1 {
 		return sorted[0]
 	}

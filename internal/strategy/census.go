@@ -1,6 +1,9 @@
 package strategy
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // Census counts strategy occurrences across one or more final populations.
 // The paper's Table 7 ("five most popular strategies") and Tables 8–9
@@ -54,11 +57,11 @@ func (c *Census) Top(k int) []Entry {
 			Fraction: float64(n) / float64(c.total),
 		})
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].Count != entries[j].Count {
-			return entries[i].Count > entries[j].Count
+	slices.SortFunc(entries, func(a, b Entry) int {
+		if c := cmp.Compare(b.Count, a.Count); c != 0 {
+			return c
 		}
-		return entries[i].Strategy.Key() < entries[j].Strategy.Key()
+		return cmp.Compare(a.Strategy.Key(), b.Strategy.Key())
 	})
 	if k < len(entries) {
 		entries = entries[:k]
@@ -91,11 +94,11 @@ func (c *Census) SubStrategies(t TrustLevel, minFraction float64) []SubEntry {
 		}
 		out = append(out, SubEntry{Pattern: pattern, Count: n, Fraction: frac})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
+	slices.SortFunc(out, func(a, b SubEntry) int {
+		if c := cmp.Compare(b.Count, a.Count); c != 0 {
+			return c
 		}
-		return out[i].Pattern < out[j].Pattern
+		return cmp.Compare(a.Pattern, b.Pattern)
 	})
 	return out
 }

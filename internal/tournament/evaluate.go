@@ -75,11 +75,15 @@ func Evaluate(normals, csn []*game.Player, registry []*game.Player, cfg *EvalCon
 		return fmt.Errorf("tournament: need %d CSN, pool has %d", cfg.MaxCSN(), len(csn))
 	}
 
-	// Step 1: clear all memories and accounts.
+	// Step 1: clear all memories and accounts. Dense stores keep their
+	// registry-sized capacity across generations, so a reset generation
+	// replays over the same backing arrays with no reallocation.
 	for _, p := range normals {
+		p.Rep.EnsureSize(len(registry))
 		p.ResetForGeneration()
 	}
 	for _, p := range csn {
+		p.Rep.EnsureSize(len(registry))
 		p.ResetForGeneration()
 	}
 
@@ -88,6 +92,7 @@ func Evaluate(normals, csn []*game.Player, registry []*game.Player, cfg *EvalCon
 	played := make([]int, 0, len(normals))
 	participants := make([]*game.Player, 0, cfg.TournamentSize)
 	var pick, scratch []int
+	var sc Scratch // shared per-tournament buffers for the whole pass
 
 	for envIdx, env := range cfg.Environments {
 		if rec != nil {
@@ -149,7 +154,7 @@ func Evaluate(normals, csn []*game.Player, registry []*game.Player, cfg *EvalCon
 				}
 			}
 			participants = append(participants, csn[:env.CSN]...)
-			Play(participants, registry, &cfg.Tournament, provider, r, rec)
+			PlayWith(participants, registry, &cfg.Tournament, provider, r, rec, &sc)
 		}
 	}
 	return nil

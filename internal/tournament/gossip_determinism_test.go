@@ -1,0 +1,106 @@
+package tournament
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"adhocga/internal/game"
+	"adhocga/internal/network"
+	"adhocga/internal/rng"
+	"adhocga/internal/strategy"
+)
+
+// storeFingerprint renders a player's full reputation memory — every known
+// peer in ascending ID order with its exact counters and the float bits of
+// its forwarding rate — so two stores compare equal iff they are
+// bit-identical.
+func storeFingerprint(p *game.Player) string {
+	var sb strings.Builder
+	for _, id := range p.Rep.KnownNodes() {
+		rate, _ := p.Rep.ForwardingRate(id)
+		fmt.Fprintf(&sb, "%d:%d/%d:%x;", id, p.Rep.Forwards(id), p.Rep.Requests(id), rate)
+	}
+	return sb.String()
+}
+
+// runGossipTournament plays one gossip-heavy tournament from a fixed seed
+// and fingerprints every participant's merged store.
+func runGossipTournament(seed uint64) []string {
+	r := rng.New(seed)
+	normals := make([]*game.Player, 20)
+	for i := range normals {
+		normals[i] = game.NewNormal(network.NodeID(i), strategy.Random(r))
+	}
+	csn := []*game.Player{game.NewSelfish(20), game.NewSelfish(21)}
+	registry := BuildRegistry(normals, csn)
+	participants := append(append([]*game.Player{}, normals...), csn...)
+
+	cfg := &Config{
+		Rounds:         40,
+		Mode:           network.ShorterPaths(),
+		Game:           game.DefaultConfig(),
+		GossipInterval: 2,
+		GossipWeight:   0.25,
+		GossipMinRate:  0.5,
+	}
+	Play(participants, registry, cfg, network.NewGenerator(cfg.Mode), r, nil)
+
+	prints := make([]string, len(participants))
+	for i, p := range participants {
+		prints[i] = storeFingerprint(p)
+	}
+	return prints
+}
+
+// TestGossipMergeDeterministic verifies that second-hand reputation
+// exchange is fully deterministic: the same seed must produce
+// bit-identical merged stores on every run. The dense store makes
+// MergePositive iterate peers in ascending NodeID order (the map
+// representation iterated randomly; the merge was already commutative,
+// but this pins the property against future non-commutative extensions).
+func TestGossipMergeDeterministic(t *testing.T) {
+	want := runGossipTournament(99)
+	nonEmpty := 0
+	for _, fp := range want {
+		if fp != "" {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("gossip tournament produced no reputation data at all")
+	}
+	for run := 1; run < 10; run++ {
+		got := runGossipTournament(99)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("run %d: player %d store diverged\n got %s\nwant %s",
+					run, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMergePositiveAscendingOrder pins the dense-store traversal contract
+// directly: merged peers land in the receiver exactly as the source holds
+// them, and KnownNodes reports them in ascending ID order without sorting.
+func TestMergePositiveAscendingOrder(t *testing.T) {
+	teacher := game.NewNormal(0, strategy.AllForward())
+	for _, id := range []network.NodeID{9, 3, 7, 1} {
+		teacher.Rep.Observe(id, true)
+		teacher.Rep.Observe(id, true)
+	}
+	student := game.NewNormal(1, strategy.AllForward())
+	student.Rep.MergePositive(student.ID, teacher.Rep, 0, 0.5)
+
+	got := student.Rep.KnownNodes()
+	want := []network.NodeID{3, 7, 9} // id 1 is the student itself: skipped
+	if len(got) != len(want) {
+		t.Fatalf("KnownNodes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("KnownNodes = %v, want ascending %v", got, want)
+		}
+	}
+}

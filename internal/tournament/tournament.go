@@ -95,17 +95,38 @@ type PathProvider interface {
 	Candidates(r *rng.Source, src network.NodeID, participants []network.NodeID) []network.Path
 }
 
+// Scratch holds the reusable per-tournament buffers of Play. One Scratch
+// serves any number of sequential PlayWith calls (the evaluation scheme
+// keeps a single Scratch across all tournaments of a generation); it must
+// not be shared between goroutines.
+type Scratch struct {
+	ids     []network.NodeID
+	inters  []*game.Player
+	normals []*game.Player
+}
+
 // Play runs one tournament over the given participants: cfg.Rounds rounds,
 // each participant sourcing exactly one packet per round (§4.4 tournament
 // scheme, steps 1–8). registry maps NodeID → player and must cover every
 // participant; paths supplies candidate routes; rec may be nil.
 func Play(participants []*game.Player, registry []*game.Player, cfg *Config, provider PathProvider, r *rng.Source, rec game.Recorder) {
-	ids := make([]network.NodeID, len(participants))
-	for i, p := range participants {
-		ids[i] = p.ID
+	var sc Scratch
+	PlayWith(participants, registry, cfg, provider, r, rec, &sc)
+}
+
+// PlayWith is Play with caller-owned scratch buffers, the allocation-free
+// steady-state form: with warm scratch and participant stores pre-sized to
+// the registry, a full tournament performs zero heap allocations.
+func PlayWith(participants []*game.Player, registry []*game.Player, cfg *Config, provider PathProvider, r *rng.Source, rec game.Recorder, sc *Scratch) {
+	ids := sc.ids[:0]
+	for _, p := range participants {
+		ids = append(ids, p.ID)
+		// Dense stores sized to the registry: every peer lookup from here
+		// on is a bounds-checked index and Observe never grows.
+		p.Rep.EnsureSize(len(registry))
 	}
+	sc.ids = ids
 	ro, _ := rec.(RoundObserver)
-	interScratch := make([]*game.Player, 0, network.MaxHops)
 	for round := 0; round < cfg.Rounds; round++ {
 		for _, src := range participants {
 			// Step 2: random destination and intermediates (provider);
@@ -115,26 +136,32 @@ func Play(participants []*game.Player, registry []*game.Player, cfg *Config, pro
 			if len(paths) == 0 {
 				continue // no route to anyone this round
 			}
-			var best int
+			best := 0
 			if cfg.PathChoice == RandomPath {
 				best = r.Intn(len(paths))
-			} else {
-				best = network.SelectBest(r, paths, src.Rep.ForwardingRate)
+			} else if len(paths) > 1 {
+				// A single candidate needs no rating (SelectBest would
+				// return 0 without consuming randomness), which skips the
+				// rate-view flush for the majority of games — Table 3
+				// yields one route 50–80% of the time.
+				best = network.SelectBest(r, paths, src.Rep.PathRates())
 			}
 			path := paths[best]
-			inters := interScratch[:0]
+			inters := sc.inters[:0]
 			for _, id := range path.Intermediates {
 				inters = append(inters, registry[id])
 			}
+			sc.inters = inters
 			// Steps 4–6: play the game; payoffs and reputation updates
-			// happen inside game.Play.
-			game.Play(src, inters, &cfg.Game, rec)
+			// happen inside game.PlayIDs (the path's Intermediates double
+			// as the observation ID list).
+			game.PlayIDs(src, inters, path.Intermediates, &cfg.Game, rec)
 		}
 		if ro != nil {
 			ro.EndRound(participants)
 		}
 		if cfg.GossipInterval > 0 && (round+1)%cfg.GossipInterval == 0 {
-			gossip(participants, cfg, r)
+			gossip(participants, cfg, r, sc)
 		}
 	}
 }
@@ -150,13 +177,14 @@ type RoundObserver interface {
 // normal player merges the positive observations of one uniformly chosen
 // other normal player. CSN neither share nor receive — they do not
 // participate in the protocol any more than they forward packets.
-func gossip(participants []*game.Player, cfg *Config, r *rng.Source) {
-	var normals []*game.Player
+func gossip(participants []*game.Player, cfg *Config, r *rng.Source, sc *Scratch) {
+	normals := sc.normals[:0]
 	for _, p := range participants {
 		if p.Type == game.Normal {
 			normals = append(normals, p)
 		}
 	}
+	sc.normals = normals
 	if len(normals) < 2 {
 		return
 	}

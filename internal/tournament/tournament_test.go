@@ -228,8 +228,9 @@ func TestGossipExcludesSelfishNodes(t *testing.T) {
 	cfg.GossipWeight = 0.5
 	cfg.GossipMinRate = 0.5
 	participants := []*game.Player{teacher, student, csn}
+	var sc Scratch
 	for i := 0; i < 50; i++ { // enough exchanges for the pair to meet
-		gossip(participants, cfg, rng.New(uint64(i)))
+		gossip(participants, cfg, rng.New(uint64(i)), &sc)
 	}
 	if csn.Rep.KnownCount() != 1 || csn.Rep.Requests(5) != 1 {
 		t.Errorf("CSN store changed by gossip: %d entries, %d requests",

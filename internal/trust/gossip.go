@@ -21,6 +21,11 @@ import (
 // Nodes about whom the receiver is the subject (self) are skipped, as are
 // negative reports (rate below minRate).
 //
+// Peers are visited in ascending NodeID order — a free guarantee of the
+// dense store (the map representation iterated in random order; the merge
+// is commutative, so results were already order-independent, but the fixed
+// order makes the traversal itself deterministic and cache-friendly).
+//
 // The merge is additive: gossiping the same data twice counts it twice.
 // Callers model credibility by keeping weight well below 1, matching the
 // "more relevance is given to ... own experience" design of CORE.
@@ -28,12 +33,14 @@ func (s *Store) MergePositive(self network.NodeID, src *Store, minRate, weight f
 	if weight <= 0 {
 		return
 	}
-	for id, rec := range src.rec {
-		if id == self || rec.requests == 0 {
+	for id := range src.rec {
+		rec := &src.rec[id]
+		if network.NodeID(id) == self || rec.requests == 0 {
 			continue
 		}
-		rate := float64(rec.forwards) / float64(rec.requests)
-		if rate < minRate {
+		// Rate from the counters, not the cached view — the cache may be
+		// pending a flush.
+		if float64(rec.forwards)/float64(rec.requests) < minRate {
 			continue
 		}
 		addReq := uint64(math.Round(float64(rec.requests) * weight))
@@ -44,13 +51,17 @@ func (s *Store) MergePositive(self network.NodeID, src *Store, minRate, weight f
 		if addFwd > addReq {
 			addFwd = addReq
 		}
-		dst := s.rec[id]
-		if dst == nil {
-			dst = &record{}
-			s.rec[id] = dst
+		s.EnsureSize(id + 1)
+		dst := &s.rec[id]
+		if dst.requests == 0 {
+			s.known++
 		}
 		dst.requests += addReq
 		dst.forwards += addFwd
 		s.forwardsSum += addFwd
+		if !dst.dirty {
+			dst.dirty = true
+			s.dirtyIDs = append(s.dirtyIDs, int32(id))
+		}
 	}
 }

@@ -6,117 +6,332 @@
 // forwarded (pf). The forwarding rate pf/ps feeds a four-level trust lookup
 // table; the raw pf counts feed the three-level activity evaluation. Both
 // feed the strategy's forwarding decision and the payoff table.
+//
+// Storage is dense: a Store is a NodeID-indexed slice of records, not a
+// map. NodeIDs are dense small integers by construction
+// (tournament.BuildRegistry panics on gaps or duplicates — see DESIGN.md),
+// so a slice sized to the registry covers every possible peer with one
+// bounds-checked index per lookup and zero steady-state allocations. Each
+// record additionally caches the derived values the hot path needs — the
+// forwarding rate pf/ps and its Fig 1b trust level — refreshed at most
+// once per counter change, lazily at the next read, so game decisions and
+// path ratings never recompute them and pure observation stays
+// integer-only.
 package trust
 
 import (
 	"fmt"
-	"sort"
 
 	"adhocga/internal/network"
 	"adhocga/internal/strategy"
 )
 
-// record holds the two per-pair reputation counters of §3.1.
+// record holds the two per-pair reputation counters of §3.1 plus the
+// cached trust level derived from them. A node is known iff requests > 0
+// (every code path that touches a record increments requests by ≥ 1).
+//
+// dirty marks a record whose counters changed since level and the rates
+// entry were last derived; readers flush it before use. Keeping the write
+// path to plain integer increments matters because observations outnumber
+// decisions ~k:1 on a k-intermediate path.
 type record struct {
 	requests uint64 // ps: packets this node was asked ("sent") to forward
 	forwards uint64 // pf: packets it actually forwarded
+	level    strategy.TrustLevel
+	dirty    bool
 }
 
-// Store is one node's private reputation memory about other nodes. It is
-// not safe for concurrent use; in the simulator each player owns exactly
-// one Store and tournaments mutate it from a single goroutine.
+// Store is one node's private reputation memory about other nodes, indexed
+// densely by NodeID. It is not safe for concurrent use; in the simulator
+// each player owns exactly one Store and tournaments mutate it from a
+// single goroutine.
+//
+// The store grows on demand when an unseen NodeID is observed, but callers
+// that know the full ID range (the tournament runner sizes every
+// participant's store to the registry) should pre-size it with EnsureSize
+// so the steady state never allocates.
 type Store struct {
-	rec map[network.NodeID]*record
+	rec []record
+
+	// rates is the dense path-rate view: rates[id] is pf/ps for known
+	// nodes and network.UnknownRate for unknown ones, exactly the factor
+	// the §3.1 path rating multiplies per intermediate. It is maintained
+	// in lockstep with rec.
+	rates []float64
+
+	// dirtyIDs lists records whose cached rate/level are pending a flush;
+	// the per-record dirty bit keeps entries unique.
+	dirtyIDs []int32
+
+	// known counts records with requests > 0.
+	known int
 
 	// forwardsSum caches Σ pf over all known nodes so that the §3.2
 	// activity average is O(1) per query instead of O(known nodes).
 	forwardsSum uint64
+
+	// table maps cached forwarding rates to the cached trust levels.
+	table Table
 }
 
-// NewStore returns an empty reputation memory.
+// NewStore returns an empty reputation memory using the paper's default
+// trust table. The store grows as nodes are observed; use NewStoreSized or
+// EnsureSize when the ID range is known up front.
 func NewStore() *Store {
-	return &Store{rec: make(map[network.NodeID]*record)}
+	return &Store{table: DefaultTable()}
 }
 
-// Reset forgets everything; the evaluation scheme clears all memories at
-// the start of each generation (§4.4 step 1).
+// NewStoreSized returns an empty reputation memory pre-sized for NodeIDs
+// 0..n-1.
+func NewStoreSized(n int) *Store {
+	s := NewStore()
+	s.EnsureSize(n)
+	return s
+}
+
+// EnsureSize grows the store to cover NodeIDs 0..n-1. Existing data is
+// preserved; new entries are unknown. It never shrinks.
+func (s *Store) EnsureSize(n int) {
+	if n <= len(s.rec) {
+		return
+	}
+	old := len(s.rec)
+	if n <= cap(s.rec) {
+		s.rec = s.rec[:n]
+		s.rates = s.rates[:n]
+		clear(s.rec[old:])
+	} else {
+		c := 2 * cap(s.rec)
+		if c < n {
+			c = n
+		}
+		rec := make([]record, n, c)
+		copy(rec, s.rec)
+		rates := make([]float64, n, c)
+		copy(rates, s.rates)
+		s.rec, s.rates = rec, rates
+	}
+	for i := old; i < n; i++ {
+		s.rates[i] = network.UnknownRate
+	}
+}
+
+// Size returns the number of NodeIDs the store currently covers (known or
+// not).
+func (s *Store) Size() int { return len(s.rec) }
+
+// Reset forgets everything but keeps the allocated capacity; the
+// evaluation scheme clears all memories at the start of each generation
+// (§4.4 step 1).
 func (s *Store) Reset() {
 	clear(s.rec)
+	for i := range s.rates {
+		s.rates[i] = network.UnknownRate
+	}
+	s.dirtyIDs = s.dirtyIDs[:0]
+	s.known = 0
 	s.forwardsSum = 0
 }
 
+// SetTable installs the Fig 1b trust table used for the cached trust
+// levels, recomputing existing cache entries if the table actually
+// changes. NewStore installs DefaultTable; game decisions re-sync the
+// table from their Config automatically, so explicit calls are only an
+// optimization for custom-table setups.
+func (s *Store) SetTable(t Table) {
+	if t == s.table {
+		return
+	}
+	s.table = t
+	for i := range s.rec {
+		if r := &s.rec[i]; r.requests > 0 {
+			s.flushRecord(r, i)
+		}
+	}
+	s.dirtyIDs = s.dirtyIDs[:0]
+}
+
+// TrustTable returns the table the cached trust levels are derived from.
+func (s *Store) TrustTable() Table { return s.table }
+
 // Observe records one watchdog observation about a node: it was asked to
-// forward a packet and either did (forwarded=true) or dropped it.
+// forward a packet and either did (forwarded=true) or dropped it. The
+// write path is integer-only — the derived rate and trust level are
+// flushed lazily at the next read (Evaluate or PathRates), so a record
+// observed many times between reads pays for one division, not many.
+//
+// The body is split so the steady-state case (record exists and is
+// already dirty — the overwhelming majority inside a tournament, where
+// observations outnumber flushes) inlines into the game loop as a few
+// increments; growth, first contact, and dirty-marking take the slow
+// path.
 func (s *Store) Observe(id network.NodeID, forwarded bool) {
-	r := s.rec[id]
-	if r == nil {
-		r = &record{}
-		s.rec[id] = r
+	if int(id) < len(s.rec) {
+		r := &s.rec[id]
+		if r.dirty && r.requests != 0 {
+			r.requests++
+			if forwarded {
+				r.forwards++
+				s.forwardsSum++
+			}
+			return
+		}
+	}
+	s.observeSlow(id, forwarded)
+}
+
+// ObservePath records one game's worth of Fig 1a observations in bulk:
+// for every position j, ids[j] is observed as having forwarded unless
+// j == firstDrop (pass firstDrop = -1 for a delivered packet, so that
+// every node forwarded). Entries equal to self are skipped — a node never
+// observes itself. Equivalent to calling Observe per entry, minus the
+// per-observation call overhead on the game hot path.
+func (s *Store) ObservePath(ids []network.NodeID, self network.NodeID, firstDrop int) {
+	for j, id := range ids {
+		if id == self {
+			continue
+		}
+		forwarded := j != firstDrop
+		if int(id) < len(s.rec) {
+			r := &s.rec[id]
+			if r.dirty && r.requests != 0 {
+				r.requests++
+				if forwarded {
+					r.forwards++
+					s.forwardsSum++
+				}
+				continue
+			}
+		}
+		s.observeSlow(id, forwarded)
+	}
+}
+
+func (s *Store) observeSlow(id network.NodeID, forwarded bool) {
+	if int(id) >= len(s.rec) {
+		s.EnsureSize(int(id) + 1)
+	}
+	r := &s.rec[id]
+	if r.requests == 0 {
+		s.known++
 	}
 	r.requests++
 	if forwarded {
 		r.forwards++
 		s.forwardsSum++
 	}
+	if !r.dirty {
+		r.dirty = true
+		s.dirtyIDs = append(s.dirtyIDs, int32(id))
+	}
+}
+
+// flushRecord derives the cached rate and Fig 1b trust level from the
+// record's counters. Callers guarantee requests > 0.
+func (s *Store) flushRecord(r *record, id int) {
+	rate := float64(r.forwards) / float64(r.requests)
+	s.rates[id] = rate
+	r.level = s.table.Level(rate)
+	r.dirty = false
 }
 
 // Known reports whether the store has any data about the node.
 func (s *Store) Known(id network.NodeID) bool {
-	_, ok := s.rec[id]
-	return ok
+	return int(id) < len(s.rec) && s.rec[id].requests > 0
 }
 
 // KnownCount returns the number of nodes with at least one observation.
-func (s *Store) KnownCount() int { return len(s.rec) }
+func (s *Store) KnownCount() int { return s.known }
 
 // Requests returns ps for the node (0 if unknown).
 func (s *Store) Requests(id network.NodeID) uint64 {
-	if r := s.rec[id]; r != nil {
-		return r.requests
+	if int(id) < len(s.rec) {
+		return s.rec[id].requests
 	}
 	return 0
 }
 
 // Forwards returns pf for the node (0 if unknown).
 func (s *Store) Forwards(id network.NodeID) uint64 {
-	if r := s.rec[id]; r != nil {
-		return r.forwards
+	if int(id) < len(s.rec) {
+		return s.rec[id].forwards
 	}
 	return 0
 }
 
 // ForwardingRate returns pf/ps for the node and whether the node is known.
 func (s *Store) ForwardingRate(id network.NodeID) (float64, bool) {
-	r := s.rec[id]
-	if r == nil || r.requests == 0 {
+	if !s.Known(id) {
 		return 0, false
 	}
+	r := &s.rec[id]
 	return float64(r.forwards) / float64(r.requests), true
 }
 
 // MeanForwards returns the average pf over all known nodes — the "av"
 // value of §3.2 — and whether any node is known.
 func (s *Store) MeanForwards() (float64, bool) {
-	if len(s.rec) == 0 {
+	if s.known == 0 {
 		return 0, false
 	}
-	return float64(s.forwardsSum) / float64(len(s.rec)), true
+	return float64(s.forwardsSum) / float64(s.known), true
 }
 
 // KnownNodes returns the IDs the store has data about, in ascending order
-// (deterministic for tests and reporting).
+// (free with dense storage — no sort needed).
 func (s *Store) KnownNodes() []network.NodeID {
-	ids := make([]network.NodeID, 0, len(s.rec))
-	for id := range s.rec {
-		ids = append(ids, id)
+	ids := make([]network.NodeID, 0, s.known)
+	for i := range s.rec {
+		if s.rec[i].requests > 0 {
+			ids = append(ids, network.NodeID(i))
+		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
-// RateFunc adapts the store to the signature network.RatePath expects.
-func (s *Store) RateFunc() func(network.NodeID) (float64, bool) {
-	return s.ForwardingRate
+// PathRates returns the dense §3.1 rate view the path rater consumes:
+// rates[id] is pf/ps for known nodes and network.UnknownRate for unknown
+// ones; IDs at or beyond len(rates) are unknown too. Pending counter
+// changes are flushed into the view first. The slice is owned by the
+// store and must not be modified; re-fetch it after further observations
+// rather than retaining it.
+func (s *Store) PathRates() []float64 {
+	for _, id := range s.dirtyIDs {
+		if r := &s.rec[id]; r.dirty {
+			s.flushRecord(r, int(id))
+		}
+	}
+	s.dirtyIDs = s.dirtyIDs[:0]
+	return s.rates
+}
+
+// Evaluate returns the cached trust level and the §3.2 activity level of
+// the source in one O(1) lookup, and whether the source is known (when it
+// is not, the strategy's unknown-node bit applies and both levels are
+// meaningless). This is the forwarding-decision hot path: a single
+// bounds-checked index, no map probes, no rate division.
+func (s *Store) Evaluate(id network.NodeID, band float64) (strategy.TrustLevel, strategy.ActivityLevel, bool) {
+	if int(id) >= len(s.rec) {
+		return 0, 0, false
+	}
+	r := &s.rec[id]
+	if r.requests == 0 {
+		return 0, 0, false
+	}
+	if r.dirty {
+		s.flushRecord(r, int(id))
+	}
+	// known(id) implies known > 0, so av is well defined.
+	av := float64(s.forwardsSum) / float64(s.known)
+	srcF := float64(r.forwards)
+	act := strategy.ActivityMedium
+	switch {
+	case srcF < av-band*av:
+		act = strategy.ActivityLow
+	case srcF > av+band*av:
+		act = strategy.ActivityHigh
+	}
+	return r.level, act, true
 }
 
 // Table is the trust lookup table of Fig 1b, mapping a forwarding rate to
@@ -163,7 +378,8 @@ func (t Table) Level(rate float64) strategy.TrustLevel {
 
 // LevelOf looks a node up in the store and maps it through the table. The
 // boolean is false when the node is unknown, in which case the strategy's
-// unknown-node bit applies instead.
+// unknown-node bit applies instead. Unlike Store.Evaluate it applies t
+// itself rather than the store's cached level, so it works with any table.
 func (t Table) LevelOf(s *Store, id network.NodeID) (strategy.TrustLevel, bool) {
 	rate, known := s.ForwardingRate(id)
 	if !known {
@@ -185,19 +401,6 @@ const DefaultActivityBand = 0.2
 // Note the asymmetry inherited from the paper: av averages over the nodes
 // the evaluator knows, whether or not that includes the source.
 func ActivityOf(s *Store, src network.NodeID, band float64) (strategy.ActivityLevel, bool) {
-	if !s.Known(src) {
-		return 0, false
-	}
-	av, _ := s.MeanForwards() // known(src) implies at least one known node
-	srcF := float64(s.Forwards(src))
-	lo := av - band*av
-	hi := av + band*av
-	switch {
-	case srcF < lo:
-		return strategy.ActivityLow, true
-	case srcF > hi:
-		return strategy.ActivityHigh, true
-	default:
-		return strategy.ActivityMedium, true
-	}
+	_, act, known := s.Evaluate(src, band)
+	return act, known
 }

@@ -211,15 +211,19 @@ func TestActivityZeroForwards(t *testing.T) {
 	}
 }
 
-func TestRateFuncFeedsPathRating(t *testing.T) {
+func TestPathRatesFeedPathRating(t *testing.T) {
 	s := NewStore()
 	s.Observe(1, true) // rate 1.0
 	s.Observe(2, false)
 	s.Observe(2, true) // rate 0.5
 	p := network.Path{Src: 0, Dst: 9, Intermediates: []network.NodeID{1, 2, 3}}
-	// 1.0 * 0.5 * 0.5(unknown default) = 0.25
-	if got := network.RatePath(p, s.RateFunc()); math.Abs(got-0.25) > 1e-12 {
-		t.Errorf("path rating via RateFunc = %v, want 0.25", got)
+	// 1.0 * 0.5 * 0.5(unknown default) = 0.25; node 3 is beyond the dense
+	// view and node 0 is inside it but unobserved — both rate UnknownRate.
+	if got := network.RatePath(p, s.PathRates()); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("path rating via PathRates = %v, want 0.25", got)
+	}
+	if r := s.PathRates()[0]; r != network.UnknownRate {
+		t.Errorf("unobserved in-range node rates %v, want UnknownRate", r)
 	}
 }
 
