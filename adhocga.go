@@ -4,11 +4,13 @@ import (
 	"io"
 
 	"adhocga/internal/baselines"
+	"adhocga/internal/bitstring"
 	"adhocga/internal/core"
 	"adhocga/internal/experiment"
 	"adhocga/internal/ga"
 	"adhocga/internal/game"
 	"adhocga/internal/ipdrp"
+	"adhocga/internal/island"
 	"adhocga/internal/network"
 	"adhocga/internal/rng"
 	"adhocga/internal/scenario"
@@ -43,6 +45,17 @@ const (
 	ActivityMedium = strategy.ActivityMedium
 	ActivityHigh   = strategy.ActivityHigh
 )
+
+// Genome is a strategy genome: the 13-bit vector of §3.3 (Fig 1c) the
+// genetic algorithm evolves.
+type Genome = bitstring.Bits
+
+// Individual pairs a genome with the fitness measured for it (eq. 1).
+type Individual = ga.Individual
+
+// NewStrategy wraps a 13-bit genome as a Strategy. The strategy shares the
+// genome's storage; Clone first if the genome keeps evolving.
+func NewStrategy(g Genome) Strategy { return strategy.New(g) }
 
 // ParseStrategy decodes the paper's strategy notation, with or without
 // grouping spaces: "010 101 101 111 1" or "0101011011111".
@@ -105,6 +118,52 @@ func Evolve(cfg EvolutionConfig) (*EvolutionResult, error) {
 	return engine.Run()
 }
 
+// IslandConfig parameterizes the island-model evolution engine: the
+// population of EvolutionConfig is sharded into Count subpopulations
+// evolved concurrently, with periodic migration of elite genomes over a
+// pluggable topology. See the island package docs for the determinism
+// contract.
+type IslandConfig = island.Config
+
+// IslandResult is the outcome of an island-model run: the aggregate view
+// in the serial Result shape plus per-island convergence traces and the
+// cross-island champion.
+type IslandResult = island.Result
+
+// IslandTrace is one island's per-generation convergence history.
+type IslandTrace = island.Trace
+
+// IslandGenerationStats is the per-generation snapshot passed to
+// IslandConfig.OnGeneration: run-wide cooperation plus per-island fitness
+// and diversity.
+type IslandGenerationStats = island.GenerationStats
+
+// IslandTopology selects which islands exchange migrants.
+type IslandTopology = island.Topology
+
+// IslandReplacement selects which residents incoming migrants evict.
+type IslandReplacement = island.Replacement
+
+// Migration topologies and replacement policies for IslandConfig.
+const (
+	TopologyRing           = island.Ring
+	TopologyFullyConnected = island.FullyConnected
+	TopologyRandomPairs    = island.RandomPairs
+
+	ReplaceWorst  = island.ReplaceWorst
+	ReplaceRandom = island.ReplaceRandom
+)
+
+// EvolveIslands runs one island-model evolutionary experiment. A 1-island
+// configuration is bit-identical to Evolve on the same EvolutionConfig.
+func EvolveIslands(cfg IslandConfig) (*IslandResult, error) {
+	engine, err := island.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Run()
+}
+
 // Case is one of the paper's four evaluation cases (Table 4).
 type Case = experiment.Case
 
@@ -148,6 +207,10 @@ type ScenarioEnv = scenario.EnvSpec
 
 // ScenarioGA overrides genetic-algorithm parameters in a scenario.
 type ScenarioGA = scenario.GASpec
+
+// ScenarioIslands configures the island-model engine in a scenario (the
+// JSON "islands" block).
+type ScenarioIslands = scenario.IslandSpec
 
 // ScenarioFamily is a named generator of related scenarios from the
 // built-in registry (table4, csn-grid, tournament-size, mixed-env).

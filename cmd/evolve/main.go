@@ -8,7 +8,16 @@
 //	evolve -scenario spec.json            # user-authored scenario file
 //	evolve -scenario csn-grid             # a registered scenario family
 //	evolve -scenario "mixed TE1+TE4 (SP)" # one registered scenario
+//	evolve -scenario table4-islands       # Table 4 on the island engine
+//	evolve -case 1 -population 200 -islands 4 -topology ring \
+//	       -migration-interval 10 -migrants 2
 //	evolve -list-scenarios
+//
+// The -islands flags shard the population over an island-model engine
+// (internal/island): subpopulations evolve concurrently and exchange elite
+// genomes over the chosen topology. Results stay deterministic for a fixed
+// seed at any parallelism level, and -islands 1 is bit-identical to the
+// serial engine.
 //
 // A scenario batch runs over one shared worker pool: workers cross
 // scenario boundaries, so all cores stay busy even when each scenario has
@@ -45,6 +54,11 @@ func run() int {
 		generations = flag.Int("generations", 80, "generations per replication (set explicitly, overrides scenario specs)")
 		rounds      = flag.Int("rounds", 150, "rounds per tournament (set explicitly, overrides scenario specs)")
 		reps        = flag.Int("reps", 4, "independent replications (set explicitly, overrides scenario specs)")
+		population  = flag.Int("population", 0, "total evolving population (0 = scenario/paper default; must divide by -islands)")
+		islands     = flag.Int("islands", 0, "shard the population over this many islands (0 = scenario default; 1 = serial)")
+		topology    = flag.String("topology", "", "island migration topology: ring, full, or random-pairs")
+		interval    = flag.Int("migration-interval", 0, "generations between island migrations (0 = default 10)")
+		migrants    = flag.Int("migrants", 0, "elite genomes sent per topology edge each migration (0 = default 1)")
 		seed        = flag.Uint64("seed", 1, "master seed")
 		par         = flag.Int("par", 0, "worker pool size (0 = all cores)")
 		quiet       = flag.Bool("q", false, "suppress progress output")
@@ -106,6 +120,54 @@ func run() int {
 		}
 	}
 
+	// Explicitly-set scale flags win over scenario pins (matching
+	// adhocsim's -scenario precedence); unset flags only provide
+	// defaults for fields the spec leaves open.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	// applyOverrides overlays the explicitly-set flags on one spec. The
+	// migration flags refuse to be dropped silently: without an island
+	// count in play they would otherwise leave a serial run that looks
+	// like the island experiment the user asked for.
+	applyOverrides := func(s *scenario.Spec) error {
+		if set["generations"] {
+			s.Generations = *generations
+		}
+		if set["rounds"] {
+			s.Rounds = *rounds
+		}
+		if set["reps"] {
+			s.Repetitions = *reps
+		}
+		if set["population"] {
+			s.Population = *population
+		}
+		if set["islands"] && *islands >= 1 {
+			if s.Islands == nil {
+				s.Islands = &scenario.IslandSpec{}
+			}
+			s.Islands.Count = *islands
+		}
+		if s.Islands == nil {
+			if set["topology"] || set["migration-interval"] || set["migrants"] {
+				return fmt.Errorf("evolve: -topology/-migration-interval/-migrants need -islands or a scenario with an islands block (scenario %q has none)", s.Name)
+			}
+			return nil
+		}
+		if set["topology"] {
+			s.Islands.Topology = *topology
+		}
+		if set["migration-interval"] {
+			s.Islands.Interval = *interval
+		}
+		if set["migrants"] {
+			s.Islands.Migrants = *migrants
+		}
+		return nil
+	}
+	islandFlags := set["islands"] || set["population"] || set["topology"] ||
+		set["migration-interval"] || set["migrants"]
+
 	var results []*experiment.CaseResult
 	if *scenarioArg != "" {
 		specs, err := scenario.FromArg(*scenarioArg)
@@ -117,21 +179,11 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "-csv/-save need a single scenario; got", len(specs))
 			return 2
 		}
-		// Explicitly-set scale flags win over scenario pins (matching
-		// adhocsim's -scenario precedence); unset flags only provide
-		// defaults for fields the spec leaves open.
-		set := map[string]bool{}
-		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 		runs := make([]experiment.ScenarioRun, len(specs))
 		for i, s := range specs {
-			if set["generations"] {
-				s.Generations = *generations
-			}
-			if set["rounds"] {
-				s.Rounds = *rounds
-			}
-			if set["reps"] {
-				s.Repetitions = *reps
+			if err := applyOverrides(&s); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
 			}
 			runs[i] = experiment.ScenarioRun{Spec: s}
 		}
@@ -143,6 +195,36 @@ func run() int {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
+	} else if islandFlags {
+		// The island/population flags need the case in its declarative
+		// form; the Table 4 registry specs resolve to exactly what
+		// RunCase runs, so this only changes what the flags can reach.
+		if _, err := experiment.CaseByID(*caseID); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		var spec scenario.Spec
+		for _, s := range scenario.Table4() {
+			if s.ID == *caseID {
+				spec = s
+			}
+		}
+		if err := applyOverrides(&spec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		opts.Seed = *seed
+		// Pinning the run seed keeps the replicate streams identical to
+		// the equivalent -case invocation without island flags for any
+		// nonzero -seed (0 is the "derive" sentinel throughout the
+		// scenario layer, so a zero seed runs on a derived stream here).
+		res, err := experiment.RunScenarios(
+			[]experiment.ScenarioRun{{Spec: spec, Seed: *seed}}, sc, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		results = res
 	} else {
 		c, err := experiment.CaseByID(*caseID)
 		if err != nil {
@@ -202,6 +284,13 @@ func printResult(res *experiment.CaseResult) {
 		for _, env := range res.PerEnv {
 			fmt.Printf("  %s: coop %s  csn-free %s\n", env.Name, env.Cooperation, env.CSNFree)
 		}
+	}
+
+	if res.Islands != nil {
+		fmt.Println()
+		fmt.Print(experiment.IslandTable(res).Render())
+		fmt.Printf("champion fitness: %s  migrants moved: %d over %d barriers\n",
+			res.Islands.ChampionFitness, res.Islands.MigrantsMoved, res.Islands.MigrationEvents)
 	}
 
 	top := report.NewTable("\nmost frequent final strategies", "strategy", "share", "family")

@@ -34,6 +34,7 @@ func main() {
 		markdown  = flag.Bool("markdown", false, "emit Markdown tables instead of plain text")
 		jsonPath  = flag.String("json", "", "also write raw results as JSON to this file")
 		quiet     = flag.Bool("q", false, "suppress progress output")
+		islands   = flag.Bool("islands", false, "run the cases on the island-model engine (table4-islands: population 200 over a 4-island ring)")
 	)
 	flag.Parse()
 
@@ -64,8 +65,12 @@ func main() {
 	// One batch over a single shared worker pool. Per-case seeds match
 	// the old per-case runs (seed + id), so the numbers are unchanged;
 	// only the scheduling is denser.
+	specs := scenario.Table4()
+	if *islands {
+		specs = scenario.Table4Islands()
+	}
 	var runs []experiment.ScenarioRun
-	for _, spec := range scenario.Table4() {
+	for _, spec := range specs {
 		if !needCase[spec.ID] {
 			continue
 		}
@@ -136,5 +141,10 @@ func main() {
 	}
 	if all || want["table9"] {
 		fmt.Println(render(experiment.Table9(results[4])))
+	}
+	for id := 1; id <= 4; id++ {
+		if res := results[id]; res != nil && res.Islands != nil {
+			fmt.Println(render(experiment.IslandTable(res)))
+		}
 	}
 }

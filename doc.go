@@ -8,18 +8,26 @@
 // whether to forward or discard each packet. Strategies are evolved by a
 // genetic algorithm inside a game-theoretic network model.
 //
-// The package exposes four workflows:
+// The package exposes five workflows:
 //
 //   - Evolve runs one evolutionary experiment and returns the cooperation
 //     trajectory and the final strategy population;
+//   - EvolveIslands runs the same experiment on an island-model engine:
+//     the population is sharded into subpopulations evolved concurrently,
+//     with periodic migration of elite genomes over a pluggable topology
+//     (ring, fully-connected, random-pairs) — deterministic for a fixed
+//     seed at any parallelism level, and bit-identical to Evolve with one
+//     island;
 //   - RunCase reproduces one of the paper's four evaluation cases over
 //     repeated replications at a chosen scale;
 //   - RunScenarios runs any batch of declarative, JSON-serializable
 //     ScenarioSpecs — user-authored or from the built-in registry
-//     (ScenarioFamilies: table4, csn-grid, tournament-size, mixed-env) —
-//     over one shared worker pool that flattens every (scenario ×
-//     replicate) pair into a single queue, with bit-identical results at
-//     any parallelism level;
+//     (ScenarioFamilies: table4, csn-grid, tournament-size, mixed-env,
+//     table4-islands, island-topology-sweep) — over one shared worker
+//     pool that flattens every (scenario × replicate) pair into a single
+//     queue, with bit-identical results at any parallelism level; a
+//     spec's optional "islands" block routes it through the island-model
+//     engine;
 //   - RunMix plays fixed (non-evolved) behavior mixes through the same
 //     network model for baseline comparisons.
 //
@@ -34,9 +42,10 @@
 // invariant and the README "Performance" section for measurements.
 //
 // Implementation lives in internal/ packages (rng, bitstring, strategy,
-// trust, network, game, tournament, ga, metrics, scenario, runner,
-// experiment, baselines, ipdrp); this package re-exports the surface a
-// downstream user needs. See README.md for the scenario API and CLI
-// flags, DESIGN.md for the system inventory, and EXPERIMENTS.md for
+// trust, network, game, tournament, ga, island, metrics, scenario,
+// runner, experiment, baselines, ipdrp); this package re-exports the
+// surface a downstream user needs. See README.md for the scenario API and
+// CLI flags, ARCHITECTURE.md for the layer diagram and determinism
+// contract, DESIGN.md for the system inventory, and EXPERIMENTS.md for
 // paper-vs-measured results.
 package adhocga

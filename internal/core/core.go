@@ -189,76 +189,126 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// NewResult returns a Result with series storage sized for the given
+// generation and environment counts. Engine.Run builds its own; the island
+// engine (internal/island) uses it to accumulate the aggregate view of a
+// sharded run in exactly the serial shape.
+func NewResult(generations, envs int) *Result {
+	return &Result{
+		CoopSeries:        make([]float64, 0, generations),
+		MeanEnvCoopSeries: make([]float64, 0, generations),
+		CoopPerEnvSeries:  make([][]float64, envs),
+	}
+}
+
+// Record appends one generation's cooperation observables from the
+// collector to the result's series. Environments beyond the result's
+// preallocated width are dropped; missing ones record zero.
+func (r *Result) Record(c *metrics.Collector) {
+	perEnv := c.CooperationPerEnv()
+	r.CoopSeries = append(r.CoopSeries, c.CooperationLevel())
+	r.MeanEnvCoopSeries = append(r.MeanEnvCoopSeries, c.MeanEnvCooperation())
+	for ei := range r.CoopPerEnvSeries {
+		v := 0.0
+		if ei < len(perEnv) {
+			v = perEnv[ei]
+		}
+		r.CoopPerEnvSeries[ei] = append(r.CoopPerEnvSeries[ei], v)
+	}
+}
+
+// EvaluateGeneration runs the evaluation half of one generation (§4.4
+// step 1–2, Fig 3): install the current genomes as strategies, reset the
+// collector, play every tournament of the evaluation pass, and assign each
+// individual its eq. 1 fitness. It consumes the engine's RNG stream exactly
+// as the serial loop does; callers that interleave work between generations
+// (the island engine's migration barriers) must not touch the stream.
+func (e *Engine) EvaluateGeneration(collector *metrics.Collector) error {
+	for i, ind := range e.genomes {
+		e.normals[i].Strategy = strategy.New(ind.Genome.Clone())
+	}
+	collector.Reset()
+	if err := tournament.Evaluate(e.normals, e.csn, e.registry, &e.cfg.Eval, e.gen, e.r, collector); err != nil {
+		return err
+	}
+	// Fitness by eq. 1.
+	for i := range e.genomes {
+		e.genomes[i].Fitness = e.normals[i].Acct.Fitness()
+	}
+	return nil
+}
+
+// Reproduce replaces the population with the next generation by the §5
+// scheme (selection, crossover, mutation), applying the configured
+// constraint to every offspring.
+func (e *Engine) Reproduce() error {
+	next, err := ga.NextGeneration(e.genomes, &e.cfg.GA, e.r)
+	if err != nil {
+		return err
+	}
+	for i := range e.genomes {
+		if e.cfg.Constraint != nil {
+			e.cfg.Constraint(next[i])
+		}
+		e.genomes[i] = ga.Individual{Genome: next[i]}
+	}
+	return nil
+}
+
+// Population returns the engine's live individuals. Between
+// EvaluateGeneration and Reproduce each entry carries the fitness just
+// measured; the island engine overwrites entries in place to apply
+// migration. The slice header must not be resized or retained across
+// generations.
+func (e *Engine) Population() []ga.Individual { return e.genomes }
+
+// SnapshotStrategies returns the strategies installed by the most recent
+// EvaluateGeneration, one per individual in population order.
+func (e *Engine) SnapshotStrategies() []strategy.Strategy {
+	out := make([]strategy.Strategy, len(e.normals))
+	for i, p := range e.normals {
+		out[i] = p.Strategy
+	}
+	return out
+}
+
+// Config returns the engine's validated configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
 // Run executes the configured number of generations and returns the run
 // history. It is deterministic for a given Config (including Seed).
 func (e *Engine) Run() (*Result, error) {
-	res := &Result{
-		CoopSeries:        make([]float64, 0, e.cfg.Generations),
-		MeanEnvCoopSeries: make([]float64, 0, e.cfg.Generations),
-		CoopPerEnvSeries:  make([][]float64, len(e.cfg.Eval.Environments)),
-	}
+	res := NewResult(e.cfg.Generations, len(e.cfg.Eval.Environments))
 	collector := metrics.NewCollector()
 
 	for gen := 0; gen < e.cfg.Generations; gen++ {
-		// Install current genomes as strategies.
-		for i, ind := range e.genomes {
-			e.normals[i].Strategy = strategy.New(ind.Genome.Clone())
-		}
-
-		collector.Reset()
-		if err := tournament.Evaluate(e.normals, e.csn, e.registry, &e.cfg.Eval, e.gen, e.r, collector); err != nil {
+		if err := e.EvaluateGeneration(collector); err != nil {
 			return nil, fmt.Errorf("core: generation %d: %w", gen, err)
-		}
-
-		// Fitness by eq. 1.
-		for i := range e.genomes {
-			e.genomes[i].Fitness = e.normals[i].Acct.Fitness()
 		}
 		fitStats := ga.Stats(e.genomes)
 
-		coop := collector.CooperationLevel()
-		perEnv := collector.CooperationPerEnv()
-		res.CoopSeries = append(res.CoopSeries, coop)
-		res.MeanEnvCoopSeries = append(res.MeanEnvCoopSeries, collector.MeanEnvCooperation())
-		for ei := range res.CoopPerEnvSeries {
-			v := 0.0
-			if ei < len(perEnv) {
-				v = perEnv[ei]
-			}
-			res.CoopPerEnvSeries[ei] = append(res.CoopPerEnvSeries[ei], v)
-		}
+		res.Record(collector)
 
 		if e.cfg.OnGeneration != nil {
 			e.cfg.OnGeneration(GenerationStats{
 				Generation:         gen,
-				Cooperation:        coop,
-				CoopPerEnv:         perEnv,
+				Cooperation:        collector.CooperationLevel(),
+				CoopPerEnv:         collector.CooperationPerEnv(),
 				MeanEnvCooperation: collector.MeanEnvCooperation(),
 				Fitness:            fitStats,
 			})
 		}
 
-		last := gen == e.cfg.Generations-1
-		if last {
-			res.FinalStrategies = make([]strategy.Strategy, len(e.normals))
-			for i, p := range e.normals {
-				res.FinalStrategies[i] = p.Strategy
-			}
+		if gen == e.cfg.Generations-1 {
+			res.FinalStrategies = e.SnapshotStrategies()
 			res.FinalCollector = collector
 			res.FinalFitness = fitStats
 			break
 		}
 
 		// Reproduction (§5).
-		next, err := ga.NextGeneration(e.genomes, &e.cfg.GA, e.r)
-		if err != nil {
+		if err := e.Reproduce(); err != nil {
 			return nil, fmt.Errorf("core: generation %d reproduction: %w", gen, err)
-		}
-		for i := range e.genomes {
-			if e.cfg.Constraint != nil {
-				e.cfg.Constraint(next[i])
-			}
-			e.genomes[i] = ga.Individual{Genome: next[i]}
 		}
 	}
 	return res, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"adhocga/internal/core"
+	"adhocga/internal/island"
 	"adhocga/internal/rng"
 	"adhocga/internal/runner"
 	"adhocga/internal/scenario"
@@ -18,6 +19,10 @@ type job struct {
 	seed uint64
 	// config builds one replicate's configuration from its derived seed.
 	config func(repSeed uint64) (core.Config, error)
+	// islands, when non-nil, routes replicates through the island-model
+	// engine; iconfig builds the replicate's island configuration.
+	islands *scenario.IslandSpec
+	iconfig func(repSeed uint64) (island.Config, error)
 }
 
 // caseJob wraps a Table 4-style Case in a job. The configuration is the
@@ -45,10 +50,15 @@ func specJob(spec scenario.Spec, defaults Scale, fallbackSeed uint64) (job, erro
 		return job{}, err
 	}
 	// Fail fast on parameter interactions (e.g. tournament size vs
+	// population, or an islands block that does not divide the
 	// population) the structural Validate cannot see: one bad spec must
 	// reject the whole batch up front, not waste every other scenario's
 	// compute before erroring. The seed is irrelevant to validation.
-	if _, err := resolved.Config(1); err != nil {
+	if resolved.Islands != nil {
+		if _, err := resolved.IslandConfig(1); err != nil {
+			return job{}, err
+		}
+	} else if _, err := resolved.Config(1); err != nil {
 		return job{}, err
 	}
 	return job{
@@ -59,8 +69,10 @@ func specJob(spec scenario.Spec, defaults Scale, fallbackSeed uint64) (job, erro
 			Rounds:      resolved.Rounds,
 			Repetitions: resolved.Repetitions,
 		},
-		seed:   resolved.MasterSeed(fallbackSeed),
-		config: resolved.Config,
+		seed:    resolved.MasterSeed(fallbackSeed),
+		config:  resolved.Config,
+		islands: resolved.Islands,
+		iconfig: resolved.IslandConfig,
 	}, nil
 }
 
@@ -78,19 +90,47 @@ func runJobs(jobs []job, opts Options) ([]*CaseResult, error) {
 	}
 	var units []unit
 	results := make([][]*core.Result, len(jobs))
+	islandResults := make([][]*island.Result, len(jobs))
 	for ji, j := range jobs {
 		if j.sc.Repetitions < 1 {
 			return nil, fmt.Errorf("experiment: scale %q has %d repetitions", j.sc.Name, j.sc.Repetitions)
 		}
 		master := rng.New(j.seed)
 		results[ji] = make([]*core.Result, j.sc.Repetitions)
+		if j.islands != nil {
+			islandResults[ji] = make([]*island.Result, j.sc.Repetitions)
+		}
 		for rep := 0; rep < j.sc.Repetitions; rep++ {
 			units = append(units, unit{job: ji, rep: rep, seed: master.Uint64()})
 		}
 	}
 	err := runner.Run(len(units), func(i int) error {
 		u := units[i]
-		cfg, err := jobs[u.job].config(u.seed)
+		j := &jobs[u.job]
+		if j.islands != nil {
+			// Island replicate: the island engine fans its per-generation
+			// evaluation out over its own pool. Workers may briefly
+			// oversubscribe the CPU when many replicates run at once;
+			// that affects wall-clock only — results are deterministic at
+			// any parallelism level.
+			icfg, err := j.iconfig(u.seed)
+			if err != nil {
+				return err
+			}
+			icfg.Parallelism = opts.Parallelism
+			engine, err := island.New(icfg)
+			if err != nil {
+				return err
+			}
+			ires, err := engine.Run()
+			if err != nil {
+				return err
+			}
+			results[u.job][u.rep] = ires.Aggregate
+			islandResults[u.job][u.rep] = ires
+			return nil
+		}
+		cfg, err := j.config(u.seed)
 		if err != nil {
 			return err
 		}
@@ -108,6 +148,9 @@ func runJobs(jobs []job, opts Options) ([]*CaseResult, error) {
 	out := make([]*CaseResult, len(jobs))
 	for ji, j := range jobs {
 		out[ji] = Aggregate(j.c, j.sc, results[ji])
+		if j.islands != nil {
+			out[ji].Islands = SummarizeIslands(j.islands, islandResults[ji])
+		}
 	}
 	return out, nil
 }

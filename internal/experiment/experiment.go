@@ -130,6 +130,10 @@ type CaseResult struct {
 	// Census pools the final strategy populations of all replications
 	// (Tables 7–9).
 	Census *strategy.Census
+
+	// Islands summarizes per-island convergence and migration when the
+	// scenario ran on the island-model engine; nil for serial scenarios.
+	Islands *IslandSummary
 }
 
 // Options tune a RunCase invocation.

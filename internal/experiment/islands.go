@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"fmt"
+
+	"adhocga/internal/island"
+	"adhocga/internal/report"
+	"adhocga/internal/scenario"
+	"adhocga/internal/stats"
+)
+
+// IslandSummary aggregates the island-model view of one scenario across
+// replications: how each island converged, how the cross-island champion
+// fared, and how much genetic material migration actually moved. It rides
+// along the serial-shaped CaseResult so the existing tables keep working
+// unchanged.
+type IslandSummary struct {
+	Count    int
+	Topology island.Topology
+	Replace  island.Replacement
+	Interval int
+	Migrants int
+
+	// FinalBest, FinalMean and FinalDiversity hold island i's
+	// final-generation best fitness, mean fitness and genome diversity,
+	// each averaged over replications.
+	FinalBest      []float64
+	FinalMean      []float64
+	FinalDiversity []float64
+
+	// ChampionFitness summarizes the cross-island champion's fitness over
+	// replications.
+	ChampionFitness stats.Summary
+
+	// MigrationEvents and MigrantsMoved are totals over all replications.
+	MigrationEvents int
+	MigrantsMoved   int
+}
+
+// SummarizeIslands folds per-replicate island results into an
+// IslandSummary. The spec provides the sharding parameters (with the
+// engine's documented defaults applied for display); results supply the
+// measured traces.
+func SummarizeIslands(spec *scenario.IslandSpec, results []*island.Result) *IslandSummary {
+	topo, _ := island.ParseTopology(spec.Topology)
+	replace, _ := island.ParseReplacement(spec.Replace)
+	sum := &IslandSummary{
+		Count:    spec.Count,
+		Topology: topo,
+		Replace:  replace,
+		Interval: spec.Interval,
+		Migrants: spec.Migrants,
+
+		FinalBest:      make([]float64, spec.Count),
+		FinalMean:      make([]float64, spec.Count),
+		FinalDiversity: make([]float64, spec.Count),
+	}
+	if sum.Interval == 0 {
+		sum.Interval = island.DefaultInterval
+	}
+	if sum.Migrants == 0 {
+		sum.Migrants = island.DefaultMigrants
+	}
+	champs := make([]float64, 0, len(results))
+	reps := 0
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		reps++
+		champs = append(champs, res.Champion.Fitness)
+		sum.MigrationEvents += res.MigrationEvents
+		sum.MigrantsMoved += res.MigrantsMoved
+		for i, tr := range res.PerIsland {
+			if i >= sum.Count || len(tr.Best) == 0 {
+				continue
+			}
+			last := len(tr.Best) - 1
+			sum.FinalBest[i] += tr.Best[last]
+			sum.FinalMean[i] += tr.Mean[last]
+			sum.FinalDiversity[i] += tr.Diversity[last]
+		}
+	}
+	if reps > 0 {
+		for i := range sum.FinalBest {
+			sum.FinalBest[i] /= float64(reps)
+			sum.FinalMean[i] /= float64(reps)
+			sum.FinalDiversity[i] /= float64(reps)
+		}
+	}
+	sum.ChampionFitness = stats.Summarize(champs)
+	return sum
+}
+
+// IslandTable renders the per-island convergence/diversity view of an
+// island-model scenario: one row per island with its final-generation best
+// and mean fitness and genome diversity, averaged over replications.
+// Returns nil when the result has no island view (serial scenario).
+func IslandTable(res *CaseResult) *report.Table {
+	sum := res.Islands
+	if sum == nil {
+		return nil
+	}
+	t := report.NewTable(
+		fmt.Sprintf("islands — %d×%s/%s, %d migrants every %d generations (means over %d reps)",
+			sum.Count, sum.Topology, sum.Replace, sum.Migrants, sum.Interval, res.Scale.Repetitions),
+		"island", "best fitness", "mean fitness", "diversity")
+	for i := 0; i < sum.Count; i++ {
+		t.AddRowf(i, sum.FinalBest[i], sum.FinalMean[i], sum.FinalDiversity[i])
+	}
+	return t
+}

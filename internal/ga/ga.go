@@ -16,13 +16,15 @@ import (
 )
 
 // Individual pairs a genome with the fitness measured for it this
-// generation.
+// generation (eq. 1: average payoff over the games played in the
+// evaluation pass).
 type Individual struct {
 	Genome  bitstring.Bits
 	Fitness float64
 }
 
-// Selector picks one parent index from a population.
+// Selector picks one parent index from a population — the selection
+// operator slot of the §5 reproduction scheme.
 type Selector interface {
 	// Select returns the index of the selected individual. Implementations
 	// must not modify the population.
@@ -131,7 +133,9 @@ func sortedByFitness(pop []Individual) []int {
 	return idx
 }
 
-// Crossover combines two parents into two children.
+// Crossover combines two parents into two children — the crossover
+// operator slot of §5 (the paper uses one-point crossover; see
+// bitstring.RandomOnePointCrossover).
 type Crossover func(r *rng.Source, a, b bitstring.Bits) (bitstring.Bits, bitstring.Bits)
 
 // Config holds the reproduction parameters of §5.

@@ -1,0 +1,114 @@
+package island
+
+import (
+	"fmt"
+
+	"adhocga/internal/rng"
+)
+
+// Topology names a migration topology: which islands exchange elites at a
+// migration barrier. The island model leaves this choice open; the three
+// standard shapes below cover the designs compared in the distributed-GA
+// literature (e.g. Danoy et al. on ad hoc injection networks).
+type Topology string
+
+// The registered migration topologies.
+const (
+	// Ring sends migrants from island i to island (i+1) mod n — the
+	// classic unidirectional stepping-stone model. Slowest mixing, best
+	// at preserving between-island diversity.
+	Ring Topology = "ring"
+	// FullyConnected sends migrants from every island to every other
+	// island. Fastest mixing; with aggressive intervals it approaches
+	// panmixia.
+	FullyConnected Topology = "full"
+	// RandomPairs draws a fresh random perfect matching at every
+	// migration barrier and exchanges migrants along each pair in both
+	// directions; with an odd island count one island sits the round out.
+	// The matching is drawn from the engine's dedicated migration stream,
+	// so it is deterministic for a fixed root seed.
+	RandomPairs Topology = "random-pairs"
+)
+
+// ParseTopology resolves a topology name, accepting the canonical names
+// plus common aliases ("fully-connected", "complete", "random"). An empty
+// string resolves to Ring, the default.
+func ParseTopology(name string) (Topology, error) {
+	switch name {
+	case "", string(Ring):
+		return Ring, nil
+	case string(FullyConnected), "fully-connected", "complete":
+		return FullyConnected, nil
+	case string(RandomPairs), "random":
+		return RandomPairs, nil
+	default:
+		return "", fmt.Errorf("island: unknown topology %q (want ring, full, or random-pairs)", name)
+	}
+}
+
+// Edges returns, for one migration barrier over n islands, the destination
+// islands of each source island: dests[s] lists every island that receives
+// source s's elites this barrier. Destination order is deterministic.
+// RandomPairs consumes the given stream; the fixed topologies ignore it.
+func (t Topology) Edges(n int, r *rng.Source) ([][]int, error) {
+	dests := make([][]int, n)
+	if n < 2 {
+		return dests, nil // nothing to migrate between
+	}
+	switch t {
+	case Ring:
+		for i := 0; i < n; i++ {
+			dests[i] = []int{(i + 1) % n}
+		}
+	case FullyConnected:
+		for i := 0; i < n; i++ {
+			row := make([]int, 0, n-1)
+			for j := 0; j < n; j++ {
+				if j != i {
+					row = append(row, j)
+				}
+			}
+			dests[i] = row
+		}
+	case RandomPairs:
+		perm := r.Perm(n)
+		for k := 0; k+1 < n; k += 2 {
+			a, b := perm[k], perm[k+1]
+			dests[a] = []int{b}
+			dests[b] = []int{a}
+		}
+	default:
+		return nil, fmt.Errorf("island: unknown topology %q", t)
+	}
+	return dests, nil
+}
+
+// Replacement names the policy deciding which resident individuals a
+// destination island evicts for incoming migrants.
+type Replacement string
+
+// The registered replacement policies.
+const (
+	// ReplaceWorst evicts the k lowest-fitness residents for an edge's k
+	// migrants (ties broken by lowest index), the conventional elitist
+	// policy.
+	ReplaceWorst Replacement = "worst"
+	// ReplaceRandom evicts uniformly drawn residents (distinct within
+	// each topology edge), trading selection pressure for diversity.
+	// Draws come from the engine's migration stream, never from an
+	// island's own stream.
+	ReplaceRandom Replacement = "random"
+)
+
+// ParseReplacement resolves a replacement-policy name; empty resolves to
+// ReplaceWorst, the default.
+func ParseReplacement(name string) (Replacement, error) {
+	switch name {
+	case "", string(ReplaceWorst):
+		return ReplaceWorst, nil
+	case string(ReplaceRandom):
+		return ReplaceRandom, nil
+	default:
+		return "", fmt.Errorf("island: unknown replacement policy %q (want worst or random)", name)
+	}
+}

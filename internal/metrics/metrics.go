@@ -183,6 +183,32 @@ func (c *Collector) MeanEnvCooperation() float64 {
 	return sum / float64(len(c.envs))
 }
 
+// Merge adds every count in o into c, aligning environments by index (all
+// islands of a sharded run evaluate the same environment list, so index i
+// means the same environment in both). The island engine uses it to build
+// the run-wide view of one generation from the per-island collectors; for
+// a single source it reproduces that collector's counts exactly.
+func (c *Collector) Merge(o *Collector) {
+	for i := range o.envs {
+		for len(c.envs) <= i {
+			c.envs = append(c.envs, EnvStats{})
+		}
+		e := &c.envs[i]
+		if e.Name == "" {
+			e.Name = o.envs[i].Name
+		}
+		e.NormalGames += o.envs[i].NormalGames
+		e.NormalDelivered += o.envs[i].NormalDelivered
+		e.CSNFreePaths += o.envs[i].CSNFreePaths
+	}
+	c.FromNormal.Accepted += o.FromNormal.Accepted
+	c.FromNormal.RejectedByNormal += o.FromNormal.RejectedByNormal
+	c.FromNormal.RejectedBySelfish += o.FromNormal.RejectedBySelfish
+	c.FromCSN.Accepted += o.FromCSN.Accepted
+	c.FromCSN.RejectedByNormal += o.FromCSN.RejectedByNormal
+	c.FromCSN.RejectedBySelfish += o.FromCSN.RejectedBySelfish
+}
+
 // Reset clears the collector for reuse in the next generation.
 func (c *Collector) Reset() {
 	c.envs = c.envs[:0]

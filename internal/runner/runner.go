@@ -10,8 +10,11 @@
 // must not depend on execution order. Determinism is the caller's job and
 // is cheap to provide: derive every task's random seed up front (before
 // submitting), have each task write only to its own index, and aggregate
-// after Run returns. The experiment package follows exactly that pattern,
-// which is why its results are bit-identical at any parallelism level.
+// after Run returns. The experiment package follows exactly that pattern
+// for the paper's 60-repetition averages (§6.1), which is why its results
+// are bit-identical at any parallelism level; the island engine
+// (internal/island) follows it again one level down for per-generation
+// island evaluation.
 package runner
 
 import (

@@ -39,6 +39,16 @@ func Families() []Family {
 			Description: "mixed-environment scenarios pairing benign and hostile conditions",
 			Specs:       MixedEnvironments,
 		},
+		{
+			Name:        "table4-islands",
+			Description: "the four Table 4 cases on a 4-island ring (population 200, 2 migrants every 10 generations)",
+			Specs:       Table4Islands,
+		},
+		{
+			Name:        "island-topology-sweep",
+			Description: "migration topology × replacement sweep on the TE2 environment (4 islands, population 200)",
+			Specs:       IslandTopologySweep,
+		},
 	}
 	slices.SortFunc(fams, func(a, b Family) int { return cmp.Compare(a.Name, b.Name) })
 	return fams
@@ -130,6 +140,42 @@ func TournamentSizeSweep() []Spec {
 			PathMode:       "SP",
 			TournamentSize: size,
 		})
+	}
+	return specs
+}
+
+// Table4Islands is the paper's four evaluation cases on the island-model
+// engine: the population is doubled to 200 so each of the 4 islands keeps
+// a 50-strategy subpopulation — the smallest share that still fills a
+// T=50 tournament in the CSN-free environment — evolved concurrently with
+// 2 elite migrants circulating over a ring every 10 generations.
+func Table4Islands() []Spec {
+	specs := Table4()
+	for i := range specs {
+		specs[i].Name += " 4-island ring"
+		specs[i].Population = 200
+		specs[i].Islands = &IslandSpec{Count: 4, Topology: "ring", Interval: 10, Migrants: 2}
+	}
+	return specs
+}
+
+// IslandTopologySweep crosses the three migration topologies with both
+// replacement policies on the TE2 environment (10 CSN, the paper's 20%
+// selfish share), asking how mixing speed and eviction pressure trade off
+// against evolved cooperation. Population 200 over 4 islands keeps every
+// island tournament-feasible at T=50.
+func IslandTopologySweep() []Spec {
+	var specs []Spec
+	for _, topo := range []string{"ring", "full", "random-pairs"} {
+		for _, replace := range []string{"worst", "random"} {
+			specs = append(specs, Spec{
+				Name:         fmt.Sprintf("islands 4x%s/%s CSN=10", topo, replace),
+				Environments: []EnvSpec{{Name: "TE2", CSN: 10}},
+				PathMode:     "SP",
+				Population:   200,
+				Islands:      &IslandSpec{Count: 4, Topology: topo, Interval: 5, Migrants: 2, Replace: replace},
+			})
+		}
 	}
 	return specs
 }

@@ -8,10 +8,12 @@
 //
 // A Spec only pins what it cares about: zero-valued fields fall back to
 // the paper's §6.1 parameterization and to the Scale the run was invoked
-// at, so a minimal spec is just a name and an environment list. The
-// registry (registry.go) provides named families of ready-made specs
-// beyond the paper's evaluation — dense CSN×path-mode grids,
-// tournament-size sweeps, and mixed-environment scenarios.
+// at, so a minimal spec is just a name and an environment list. An
+// optional islands block routes the scenario through the island-model
+// engine (internal/island) instead of the serial one. The registry
+// (registry.go) provides named families of ready-made specs beyond the
+// paper's evaluation — dense CSN×path-mode grids, tournament-size
+// sweeps, mixed-environment scenarios, and island-model variants.
 package scenario
 
 import (
@@ -19,6 +21,7 @@ import (
 
 	"adhocga/internal/core"
 	"adhocga/internal/ga"
+	"adhocga/internal/island"
 	"adhocga/internal/network"
 	"adhocga/internal/tournament"
 )
@@ -39,6 +42,30 @@ type Scale struct {
 type EnvSpec struct {
 	Name string `json:"name,omitempty"`
 	CSN  int    `json:"csn"`
+}
+
+// IslandSpec configures the island-model evolution engine
+// (internal/island): the population is sharded into Count subpopulations
+// evolved concurrently, with Migrants elite genomes exchanged over the
+// Topology every Interval generations. Zero-valued fields keep the island
+// defaults (ring topology, interval 10, 1 migrant, worst-replacement). The
+// population must divide evenly by Count, and each island's share must
+// still accommodate the tournament size.
+type IslandSpec struct {
+	// Count is the number of islands; 1 degenerates to the serial engine
+	// bit for bit.
+	Count int `json:"count"`
+	// Topology is "ring" (default), "full", or "random-pairs".
+	Topology string `json:"topology,omitempty"`
+	// Interval is the number of generations between migration barriers
+	// (default 10).
+	Interval int `json:"interval,omitempty"`
+	// Migrants is the number of elite genomes sent along each topology
+	// edge per barrier (default 1).
+	Migrants int `json:"migrants,omitempty"`
+	// Replace is "worst" (default) or "random": which residents incoming
+	// migrants evict.
+	Replace string `json:"replace,omitempty"`
 }
 
 // GASpec overrides genetic-algorithm parameters. Zero/nil fields keep the
@@ -85,6 +112,9 @@ type Spec struct {
 	Seed uint64 `json:"seed,omitempty"`
 	// GA overrides the genetic-algorithm parameters.
 	GA *GASpec `json:"ga,omitempty"`
+	// Islands, when set, runs the scenario on the island-model engine
+	// instead of the serial one.
+	Islands *IslandSpec `json:"islands,omitempty"`
 }
 
 // Validate checks the spec's structural invariants. Parameter interactions
@@ -129,6 +159,20 @@ func (s Spec) Validate() error {
 		}
 		if s.GA.SelectionTournament < 0 || s.GA.Elitism < 0 {
 			return fmt.Errorf("scenario %q: negative GA parameter", s.Name)
+		}
+	}
+	if isl := s.Islands; isl != nil {
+		if isl.Count < 1 {
+			return fmt.Errorf("scenario %q: island count %d < 1", s.Name, isl.Count)
+		}
+		if _, err := island.ParseTopology(isl.Topology); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		if _, err := island.ParseReplacement(isl.Replace); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		if isl.Interval < 0 || isl.Migrants < 0 {
+			return fmt.Errorf("scenario %q: negative island parameter", s.Name)
 		}
 	}
 	return nil
@@ -224,4 +268,32 @@ func (s Spec) Config(seed uint64) (core.Config, error) {
 		return core.Config{}, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
 	return cfg, nil
+}
+
+// IslandConfig builds the island-model configuration for one replicate
+// with the given replicate seed. A spec without an islands block resolves
+// to a single island, which the engine runs bit-identically to the serial
+// path. Population division and per-island tournament feasibility are
+// checked here, so a bad islands block fails before any compute is spent.
+func (s Spec) IslandConfig(seed uint64) (island.Config, error) {
+	cfg, err := s.Config(seed)
+	if err != nil {
+		return island.Config{}, err
+	}
+	isl := s.Islands
+	if isl == nil {
+		isl = &IslandSpec{Count: 1}
+	}
+	icfg := island.Config{
+		Core:     cfg,
+		Count:    isl.Count,
+		Topology: island.Topology(isl.Topology),
+		Interval: isl.Interval,
+		Migrants: isl.Migrants,
+		Replace:  island.Replacement(isl.Replace),
+	}
+	if err := icfg.Validate(); err != nil {
+		return island.Config{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	return icfg, nil
 }

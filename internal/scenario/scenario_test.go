@@ -241,6 +241,9 @@ func TestRegistryFamiliesAreValidAndBuildable(t *testing.T) {
 			if _, err := s.Resolve(sc).Config(1); err != nil {
 				t.Errorf("family %q scenario %q does not build: %v", f.Name, s.Name, err)
 			}
+			if _, err := s.Resolve(sc).IslandConfig(1); err != nil {
+				t.Errorf("family %q scenario %q does not build an island config: %v", f.Name, s.Name, err)
+			}
 		}
 	}
 }
