@@ -6,6 +6,7 @@ import (
 	"adhocga/internal/baselines"
 	"adhocga/internal/bitstring"
 	"adhocga/internal/core"
+	"adhocga/internal/dynamics"
 	"adhocga/internal/experiment"
 	"adhocga/internal/ga"
 	"adhocga/internal/game"
@@ -164,6 +165,42 @@ func EvolveIslands(cfg IslandConfig) (*IslandResult, error) {
 	return engine.Run()
 }
 
+// DynamicsConfig parameterizes the environment-perturbation layer
+// (internal/dynamics): population churn with naive immigrants and
+// identity turnover, mobility-driven route-length drift, and a cohort of
+// Byzantine adversaries (free-riders, gossip liars, on-off attackers)
+// seated in every tournament. Attach it to EvolutionConfig.Dynamics; a
+// nil or all-zero configuration keeps the run bit-identical to the
+// static reproduction.
+type DynamicsConfig = dynamics.Config
+
+// NodeAdversary tags a Byzantine player's behavior.
+type NodeAdversary = game.Adversary
+
+// Byzantine behaviors for DynamicsConfig cohorts.
+const (
+	AdversaryNone      = game.AdvNone
+	AdversaryFreeRider = game.AdvFreeRider
+	AdversaryLiar      = game.AdvLiar
+	AdversaryOnOff     = game.AdvOnOff
+)
+
+// MixedPaths returns a path mode whose hop-length distribution linearly
+// blends SP (alpha 0) and LP (alpha 1) — the route-length landscape the
+// dynamics rewiring walk moves through.
+func MixedPaths(alpha float64) PathMode { return network.MixedPaths(alpha) }
+
+// RecoverySummary aggregates cooperation dips and recovery times after
+// churn barriers; CaseResult.Recovery carries one for churning scenarios.
+type RecoverySummary = experiment.RecoverySummary
+
+// SummarizeRecovery scans a per-generation cooperation series for the
+// effect of perturbation barriers at the given interval. tol ≤ 0 uses the
+// default tolerance.
+func SummarizeRecovery(series []float64, interval int, tol float64) *RecoverySummary {
+	return experiment.SummarizeRecovery(series, interval, tol)
+}
+
 // Case is one of the paper's four evaluation cases (Table 4).
 type Case = experiment.Case
 
@@ -211,6 +248,14 @@ type ScenarioGA = scenario.GASpec
 // ScenarioIslands configures the island-model engine in a scenario (the
 // JSON "islands" block).
 type ScenarioIslands = scenario.IslandSpec
+
+// ScenarioDynamics configures the environment-perturbation layer in a
+// scenario (the JSON "dynamics" block).
+type ScenarioDynamics = scenario.DynamicsSpec
+
+// ScenarioGossip enables second-hand reputation exchange in a scenario
+// (the JSON "gossip" block).
+type ScenarioGossip = scenario.GossipSpec
 
 // ScenarioFamily is a named generator of related scenarios from the
 // built-in registry (table4, csn-grid, tournament-size, mixed-env).

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs `go test -cover` over the whole module and enforces the per-package
+# statement-coverage floors of ci/coverage_floors.txt. The merged coverage
+# profile is written to the path given as $1 (default coverage.out) so CI
+# can upload it as an artifact.
+#
+# Usage: ci/check_coverage.sh [profile-path]
+set -euo pipefail
+
+profile="${1:-coverage.out}"
+floors="$(dirname "$0")/coverage_floors.txt"
+
+# Capture-then-echo so the floor loop can parse the output, but never
+# swallow diagnostics: on a test failure, print what go test said before
+# bailing (set -e would otherwise abort between the capture and the echo).
+if ! out="$(go test -cover -coverprofile="$profile" ./...)"; then
+    echo "$out"
+    echo "coverage: go test failed" >&2
+    exit 1
+fi
+echo "$out"
+
+fail=0
+while read -r pkg floor; do
+    [ -z "${pkg:-}" ] && continue
+    case "$pkg" in \#*) continue ;; esac
+    line="$(echo "$out" | awk -v pkg="$pkg" '$1 == "ok" && $2 == pkg')"
+    if [ -z "$line" ]; then
+        echo "coverage: package $pkg missing from test output" >&2
+        fail=1
+        continue
+    fi
+    pct="$(echo "$line" | grep -oE '[0-9]+(\.[0-9]+)?% of statements' | head -1 | cut -d% -f1)"
+    if [ -z "$pct" ]; then
+        echo "coverage: no percentage reported for $pkg" >&2
+        fail=1
+        continue
+    fi
+    if ! awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p >= f) }'; then
+        echo "coverage: $pkg at $pct% is below its floor of $floor%" >&2
+        fail=1
+    fi
+done <"$floors"
+
+if [ "$fail" -ne 0 ]; then
+    echo "coverage floors violated (see ci/coverage_floors.txt)" >&2
+    exit 1
+fi
+echo "all coverage floors hold"

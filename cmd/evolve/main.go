@@ -8,16 +8,23 @@
 //	evolve -scenario spec.json            # user-authored scenario file
 //	evolve -scenario csn-grid             # a registered scenario family
 //	evolve -scenario "mixed TE1+TE4 (SP)" # one registered scenario
-//	evolve -scenario table4-islands       # Table 4 on the island engine
+//	evolve -scenario churn-sweep          # churn / recovery-after-churn sweep
+//	evolve -scenario adversary-grid       # Byzantine adversary grid
 //	evolve -case 1 -population 200 -islands 4 -topology ring \
 //	       -migration-interval 10 -migrants 2
+//	evolve -case 1 -churn 0.1 -churn-interval 5 -rewire 0.5
+//	evolve -case 1 -free-riders 5 -liars 5 -onoff 5 -gossip 10
 //	evolve -list-scenarios
 //
 // The -islands flags shard the population over an island-model engine
 // (internal/island): subpopulations evolve concurrently and exchange elite
-// genomes over the chosen topology. Results stay deterministic for a fixed
-// seed at any parallelism level, and -islands 1 is bit-identical to the
-// serial engine.
+// genomes over the chosen topology. The dynamics flags (-churn, -rewire,
+// -free-riders, -liars, -onoff) enable the environment-perturbation layer
+// (internal/dynamics): population churn with naive immigrants, mobility-
+// driven route-length drift, and Byzantine adversaries in every
+// tournament. Results stay deterministic for a fixed seed at any
+// parallelism level; -islands 1 and all-zero dynamics are bit-identical to
+// the static serial engine.
 //
 // A scenario batch runs over one shared worker pool: workers cross
 // scenario boundaries, so all cores stay busy even when each scenario has
@@ -28,6 +35,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -44,40 +52,89 @@ func main() {
 	// All work happens in run so that deferred cleanup — stopping the CPU
 	// profile, writing the heap profile — executes before the process
 	// exits; os.Exit here would skip defers and truncate profiles.
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+// run is the whole CLI behind a testable seam: flags are parsed from args
+// into a private FlagSet and every byte of output goes to the given
+// writers, so the smoke tests can replay an invocation and byte-compare.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("evolve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		caseID      = flag.Int("case", 1, "evaluation case 1-4 (Table 4); ignored with -scenario")
-		scenarioArg = flag.String("scenario", "", "scenario JSON file, registered family, or registered scenario name")
-		generations = flag.Int("generations", 80, "generations per replication (set explicitly, overrides scenario specs)")
-		rounds      = flag.Int("rounds", 150, "rounds per tournament (set explicitly, overrides scenario specs)")
-		reps        = flag.Int("reps", 4, "independent replications (set explicitly, overrides scenario specs)")
-		population  = flag.Int("population", 0, "total evolving population (0 = scenario/paper default; must divide by -islands)")
-		islands     = flag.Int("islands", 0, "shard the population over this many islands (0 = scenario default; 1 = serial)")
-		topology    = flag.String("topology", "", "island migration topology: ring, full, or random-pairs")
-		interval    = flag.Int("migration-interval", 0, "generations between island migrations (0 = default 10)")
-		migrants    = flag.Int("migrants", 0, "elite genomes sent per topology edge each migration (0 = default 1)")
-		seed        = flag.Uint64("seed", 1, "master seed")
-		par         = flag.Int("par", 0, "worker pool size (0 = all cores)")
-		quiet       = flag.Bool("q", false, "suppress progress output")
-		csvPath     = flag.String("csv", "", "write the cooperation series as CSV to this file (single scenario only)")
-		savePath    = flag.String("save", "", "write the final strategy census to this file (ungrouped strategy + share per line; strings are accepted by adhocsim -mix); single scenario only")
-		list        = flag.Bool("list-scenarios", false, "list registered scenario families and exit")
-		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
-		memProfile  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
+		caseID      = fs.Int("case", 1, "evaluation case 1-4 (Table 4); ignored with -scenario")
+		scenarioArg = fs.String("scenario", "", "scenario JSON file, registered family, or registered scenario name")
+		generations = fs.Int("generations", 80, "generations per replication (set explicitly, overrides scenario specs)")
+		rounds      = fs.Int("rounds", 150, "rounds per tournament (set explicitly, overrides scenario specs)")
+		reps        = fs.Int("reps", 4, "independent replications (set explicitly, overrides scenario specs)")
+		population  = fs.Int("population", 0, "total evolving population (unset = scenario/paper default; must divide by -islands)")
+		islands     = fs.Int("islands", 0, "shard the population over this many islands (unset = scenario default; 1 = serial)")
+		topology    = fs.String("topology", "", "island migration topology: ring, full, or random-pairs")
+		interval    = fs.Int("migration-interval", 0, "generations between island migrations (unset = default 10)")
+		migrants    = fs.Int("migrants", 0, "elite genomes sent per topology edge each migration (unset = default 1)")
+		churn       = fs.Float64("churn", 0, "fraction of the population replaced by naive immigrants at each dynamics barrier [0,1]")
+		churnIntv   = fs.Int("churn-interval", 0, "generations between dynamics barriers (unset = default 1)")
+		rewire      = fs.Float64("rewire", 0, "per-barrier probability of mobility rewiring the route-length landscape [0,1]")
+		freeRiders  = fs.Int("free-riders", 0, "Byzantine free-riders seated in every tournament")
+		liars       = fs.Int("liars", 0, "Byzantine gossip liars seated in every tournament (enable -gossip)")
+		onoff       = fs.Int("onoff", 0, "Byzantine on-off attackers seated in every tournament")
+		gossip      = fs.Int("gossip", 0, "rounds between reputation gossip exchanges (unset = off)")
+		seed        = fs.Uint64("seed", 1, "master seed")
+		par         = fs.Int("par", 0, "worker pool size (0 = all cores)")
+		quiet       = fs.Bool("q", false, "suppress progress output")
+		csvPath     = fs.String("csv", "", "write the cooperation series as CSV to this file (single scenario only)")
+		savePath    = fs.String("save", "", "write the final strategy census to this file (ungrouped strategy + share per line; strings are accepted by adhocsim -mix); single scenario only")
+		list        = fs.Bool("list-scenarios", false, "list registered scenario families and exit")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile  = fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	// Fail fast on nonsense values the downstream layers would otherwise
+	// silently ignore (an explicit -islands 0 used to fall back to a
+	// serial run that looked like the island experiment the user asked
+	// for) or turn into a confusing late error.
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	for _, check := range []struct {
+		name string
+		bad  bool
+		msg  string
+	}{
+		{"generations", *generations < 1, "generations must be >= 1"},
+		{"rounds", *rounds < 1, "rounds must be >= 1"},
+		{"reps", *reps < 1, "reps must be >= 1"},
+		{"population", *population < 1, "population must be >= 1"},
+		{"islands", *islands < 1, "islands must be >= 1"},
+		{"migration-interval", *interval < 1, "migration-interval must be >= 1"},
+		{"migrants", *migrants < 1, "migrants must be >= 1"},
+		{"churn", *churn < 0 || *churn > 1, "churn must be in [0,1]"},
+		{"churn-interval", *churnIntv < 1, "churn-interval must be >= 1"},
+		{"rewire", *rewire < 0 || *rewire > 1, "rewire must be in [0,1]"},
+		{"free-riders", *freeRiders < 0, "free-riders must be >= 0"},
+		{"liars", *liars < 0, "liars must be >= 0"},
+		{"onoff", *onoff < 0, "onoff must be >= 0"},
+		{"gossip", *gossip < 1, "gossip must be >= 1"},
+	} {
+		if set[check.name] && check.bad {
+			fmt.Fprintf(stderr, "evolve: -%s: %s\n", check.name, check.msg)
+			return 2
+		}
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 1
 		}
 		defer func() {
@@ -89,13 +146,13 @@ func run() int {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				fmt.Fprintln(stderr, err)
 				return
 			}
 			defer f.Close()
 			runtime.GC() // material allocations only, not garbage
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				fmt.Fprintln(stderr, err)
 			}
 		}()
 	}
@@ -105,7 +162,7 @@ func run() int {
 		for _, f := range scenario.Families() {
 			t.AddRow(f.Name, fmt.Sprint(len(f.Specs())), f.Description)
 		}
-		fmt.Print(t.Render())
+		fmt.Fprint(stdout, t.Render())
 		return 0
 	}
 
@@ -113,9 +170,9 @@ func run() int {
 	opts := experiment.Options{Parallelism: *par}
 	if !*quiet {
 		opts.OnReplicate = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\rreplication %d/%d done", done, total)
+			fmt.Fprintf(stderr, "\rreplication %d/%d done", done, total)
 			if done == total {
-				fmt.Fprintln(os.Stderr)
+				fmt.Fprintln(stderr)
 			}
 		}
 	}
@@ -123,8 +180,7 @@ func run() int {
 	// Explicitly-set scale flags win over scenario pins (matching
 	// adhocsim's -scenario precedence); unset flags only provide
 	// defaults for fields the spec leaves open.
-	set := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	//
 	// applyOverrides overlays the explicitly-set flags on one spec. The
 	// migration flags refuse to be dropped silently: without an island
 	// count in play they would otherwise leave a serial run that looks
@@ -142,11 +198,44 @@ func run() int {
 		if set["population"] {
 			s.Population = *population
 		}
-		if set["islands"] && *islands >= 1 {
+		if set["islands"] {
 			if s.Islands == nil {
 				s.Islands = &scenario.IslandSpec{}
 			}
 			s.Islands.Count = *islands
+		}
+		if set["churn"] || set["rewire"] || set["free-riders"] || set["liars"] || set["onoff"] {
+			if s.Dynamics == nil {
+				s.Dynamics = &scenario.DynamicsSpec{}
+			}
+		}
+		if d := s.Dynamics; d != nil {
+			if set["churn"] {
+				d.ChurnRate = *churn
+			}
+			if set["churn-interval"] {
+				d.Interval = *churnIntv
+			}
+			if set["rewire"] {
+				d.RewireProb = *rewire
+			}
+			if set["free-riders"] {
+				d.FreeRiders = *freeRiders
+			}
+			if set["liars"] {
+				d.Liars = *liars
+			}
+			if set["onoff"] {
+				d.OnOff = *onoff
+			}
+		} else if set["churn-interval"] {
+			return fmt.Errorf("evolve: -churn-interval needs -churn or a scenario with a dynamics block (scenario %q has none)", s.Name)
+		}
+		if set["gossip"] {
+			if s.Gossip == nil {
+				s.Gossip = &scenario.GossipSpec{}
+			}
+			s.Gossip.Interval = *gossip
 		}
 		if s.Islands == nil {
 			if set["topology"] || set["migration-interval"] || set["migrants"] {
@@ -165,24 +254,26 @@ func run() int {
 		}
 		return nil
 	}
-	islandFlags := set["islands"] || set["population"] || set["topology"] ||
-		set["migration-interval"] || set["migrants"]
+	specFlags := set["islands"] || set["population"] || set["topology"] ||
+		set["migration-interval"] || set["migrants"] ||
+		set["churn"] || set["churn-interval"] || set["rewire"] ||
+		set["free-riders"] || set["liars"] || set["onoff"] || set["gossip"]
 
 	var results []*experiment.CaseResult
 	if *scenarioArg != "" {
 		specs, err := scenario.FromArg(*scenarioArg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 2
 		}
 		if (*csvPath != "" || *savePath != "") && len(specs) != 1 {
-			fmt.Fprintln(os.Stderr, "-csv/-save need a single scenario; got", len(specs))
+			fmt.Fprintln(stderr, "-csv/-save need a single scenario; got", len(specs))
 			return 2
 		}
 		runs := make([]experiment.ScenarioRun, len(specs))
 		for i, s := range specs {
 			if err := applyOverrides(&s); err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				fmt.Fprintln(stderr, err)
 				return 2
 			}
 			runs[i] = experiment.ScenarioRun{Spec: s}
@@ -192,15 +283,16 @@ func run() int {
 		opts.Seed = *seed
 		results, err = experiment.RunScenarios(runs, sc, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 1
 		}
-	} else if islandFlags {
-		// The island/population flags need the case in its declarative
-		// form; the Table 4 registry specs resolve to exactly what
-		// RunCase runs, so this only changes what the flags can reach.
+	} else if specFlags {
+		// The island/population/dynamics flags need the case in its
+		// declarative form; the Table 4 registry specs resolve to exactly
+		// what RunCase runs, so this only changes what the flags can
+		// reach.
 		if _, err := experiment.CaseByID(*caseID); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 2
 		}
 		var spec scenario.Spec
@@ -210,7 +302,7 @@ func run() int {
 			}
 		}
 		if err := applyOverrides(&spec); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 2
 		}
 		opts.Seed = *seed
@@ -221,20 +313,20 @@ func run() int {
 		res, err := experiment.RunScenarios(
 			[]experiment.ScenarioRun{{Spec: spec, Seed: *seed}}, sc, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 1
 		}
 		results = res
 	} else {
 		c, err := experiment.CaseByID(*caseID)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 2
 		}
 		opts.Seed = *seed
 		res, err := experiment.RunCase(c, sc, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 1
 		}
 		results = []*experiment.CaseResult{res}
@@ -242,29 +334,29 @@ func run() int {
 
 	for i, res := range results {
 		if i > 0 {
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		printResult(res)
+		printResult(stdout, res)
 	}
 
 	if *csvPath != "" {
 		if err := writeCSV(*csvPath, results[0]); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		fmt.Printf("cooperation series written to %s\n", *csvPath)
+		fmt.Fprintf(stdout, "cooperation series written to %s\n", *csvPath)
 	}
 	if *savePath != "" {
 		if err := writeCensus(*savePath, results[0]); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		fmt.Printf("final census written to %s\n", *savePath)
+		fmt.Fprintf(stdout, "final census written to %s\n", *savePath)
 	}
 	return 0
 }
 
-func printResult(res *experiment.CaseResult) {
+func printResult(w io.Writer, res *experiment.CaseResult) {
 	c, sc := res.Case, res.Scale
 	series := res.CoopMean
 	if len(c.Environments) > 1 {
@@ -276,39 +368,53 @@ func printResult(res *experiment.CaseResult) {
 		YMin: 0, YMax: 1, FixedY: true,
 	}
 	chart.AddSeries("cooperation", series)
-	fmt.Println(chart.Render())
+	fmt.Fprintln(w, chart.Render())
 
-	fmt.Printf("final cooperation: %s\n", res.FinalCoop)
+	fmt.Fprintf(w, "final cooperation: %s\n", res.FinalCoop)
 	if len(c.Environments) > 1 {
-		fmt.Printf("final env-mean cooperation: %s\n", res.FinalMeanEnvCoop)
+		fmt.Fprintf(w, "final env-mean cooperation: %s\n", res.FinalMeanEnvCoop)
 		for _, env := range res.PerEnv {
-			fmt.Printf("  %s: coop %s  csn-free %s\n", env.Name, env.Cooperation, env.CSNFree)
+			fmt.Fprintf(w, "  %s: coop %s  csn-free %s\n", env.Name, env.Cooperation, env.CSNFree)
 		}
 	}
 
 	if res.Islands != nil {
-		fmt.Println()
-		fmt.Print(experiment.IslandTable(res).Render())
-		fmt.Printf("champion fitness: %s  migrants moved: %d over %d barriers\n",
+		fmt.Fprintln(w)
+		fmt.Fprint(w, experiment.IslandTable(res).Render())
+		fmt.Fprintf(w, "champion fitness: %s  migrants moved: %d over %d barriers\n",
 			res.Islands.ChampionFitness, res.Islands.MigrantsMoved, res.Islands.MigrationEvents)
+	}
+
+	if res.Recovery != nil {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, experiment.RecoveryTable(res).Render())
+	}
+	if d := res.Dynamics; d != nil && d.AdversaryCount() > 0 {
+		fmt.Fprintf(w, "byzantine cohort: %d free-riders, %d liars, %d on-off (%s of each tournament)\n",
+			d.FreeRiders, d.Liars, d.OnOff,
+			report.Percent(float64(d.AdversaryCount())/float64(res.TournamentSize)))
+		if res.FromByz.Total() > 0 {
+			acc, _, _ := res.FromByz.Fractions()
+			fmt.Fprintf(w, "requests from byzantine sources accepted: %s\n", report.Percent(acc))
+		}
 	}
 
 	top := report.NewTable("\nmost frequent final strategies", "strategy", "share", "family")
 	for _, e := range res.Census.Top(5) {
 		top.AddRow(e.Strategy.String(), report.Percent(e.Fraction), string(e.Strategy.Classify()))
 	}
-	fmt.Println(top.Render())
-	fmt.Printf("unknown-node forward share: %s\n", report.Percent(res.Census.UnknownForwardFraction()))
-	fmt.Printf("mean trust monotonicity: %s\n", report.Percent(res.Census.MeanTrustMonotonicity()))
+	fmt.Fprintln(w, top.Render())
+	fmt.Fprintf(w, "unknown-node forward share: %s\n", report.Percent(res.Census.UnknownForwardFraction()))
+	fmt.Fprintf(w, "mean trust monotonicity: %s\n", report.Percent(res.Census.MeanTrustMonotonicity()))
 	fams := res.Census.CategoryCensus()
-	fmt.Print("behavioral families:")
+	fmt.Fprint(w, "behavioral families:")
 	for _, cat := range []strategy.Category{strategy.CategoryReciprocal, strategy.CategoryAltruist,
 		strategy.CategoryDefector, strategy.CategoryContrarian, strategy.CategoryMixed} {
 		if share := fams[cat]; share > 0 {
-			fmt.Printf("  %s %s", cat, report.Percent(share))
+			fmt.Fprintf(w, "  %s %s", cat, report.Percent(share))
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
 // writeCensus dumps every distinct final strategy with its population

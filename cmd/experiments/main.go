@@ -1,22 +1,32 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation section at a chosen scale, printing paper-vs-measured tables.
+// evaluation section at a chosen scale, printing paper-vs-measured tables,
+// plus the dynamics extension's churn-recovery and adversary tables.
 //
 // Usage:
 //
-//	experiments -scale default            # all tables, minutes
+//	experiments -scale default            # all paper tables, minutes
 //	experiments -scale smoke -only fig4   # quick single artifact
 //	experiments -scale paper -par 24      # the full 60-repetition run
+//	experiments -only churn               # churn-sweep family + recovery tables
+//	experiments -only adversaries         # adversary-grid family
 //	experiments -markdown > results.md
 //
-// Fig 4 needs cases 1–4; Tables 5–9 need cases 3 and 4. The harness runs
-// exactly the cases the requested artifacts need, batched over one shared
-// worker pool so replicates of different cases interleave and no cores
-// idle between cases.
+// Fig 4 needs cases 1–4; Tables 5–9 need cases 3 and 4. The "churn" and
+// "adversaries" artifacts run the churn-sweep and adversary-grid scenario
+// families (internal/scenario) and render the recovery-after-churn and
+// cooperation-vs-adversary-fraction tables; they are opt-in (not part of
+// "all") because they answer questions beyond the paper. The harness runs
+// exactly the scenarios the requested artifacts need, batched over one
+// shared worker pool so replicates interleave and no cores idle.
+//
+// -generations/-rounds/-reps, when set, override the scale preset — handy
+// for quick spot checks and used by the CLI smoke tests.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -26,22 +36,51 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI behind a testable seam (own FlagSet, explicit
+// writers) so smoke tests can replay invocations and byte-compare output.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		scaleName = flag.String("scale", "default", "scale preset: smoke, default, or paper")
-		only      = flag.String("only", "all", "comma list of artifacts: fig4,table5,table6,table7,table8,table9 or all")
-		seed      = flag.Uint64("seed", 2007, "master seed")
-		par       = flag.Int("par", 0, "worker pool size (0 = all cores)")
-		markdown  = flag.Bool("markdown", false, "emit Markdown tables instead of plain text")
-		jsonPath  = flag.String("json", "", "also write raw results as JSON to this file")
-		quiet     = flag.Bool("q", false, "suppress progress output")
-		islands   = flag.Bool("islands", false, "run the cases on the island-model engine (table4-islands: population 200 over a 4-island ring)")
+		scaleName   = fs.String("scale", "default", "scale preset: smoke, default, or paper")
+		only        = fs.String("only", "all", "comma list of artifacts: fig4,table5,table6,table7,table8,table9,churn,adversaries or all")
+		generations = fs.Int("generations", 0, "override the scale's generations per replication (0 = preset)")
+		rounds      = fs.Int("rounds", 0, "override the scale's rounds per tournament (0 = preset)")
+		reps        = fs.Int("reps", 0, "override the scale's replications (0 = preset)")
+		seed        = fs.Uint64("seed", 2007, "master seed")
+		par         = fs.Int("par", 0, "worker pool size (0 = all cores)")
+		markdown    = fs.Bool("markdown", false, "emit Markdown tables instead of plain text")
+		jsonPath    = fs.String("json", "", "also write raw results as JSON to this file")
+		quiet       = fs.Bool("q", false, "suppress progress output")
+		islands     = fs.Bool("islands", false, "run the cases on the island-model engine (table4-islands: population 200 over a 4-island ring)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if *generations < 0 || *rounds < 0 || *reps < 0 {
+		fmt.Fprintln(stderr, "experiments: -generations/-rounds/-reps must be >= 1 when set")
+		return 2
+	}
 
 	sc, err := experiment.ScaleByName(*scaleName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *generations > 0 {
+		sc.Generations = *generations
+	}
+	if *rounds > 0 {
+		sc.Rounds = *rounds
+	}
+	if *reps > 0 {
+		sc.Repetitions = *reps
 	}
 
 	want := map[string]bool{}
@@ -57,64 +96,17 @@ func main() {
 		needCase[3] = true
 		needCase[4] = true
 	}
-	if len(needCase) == 0 {
-		fmt.Fprintf(os.Stderr, "nothing to do for -only=%s\n", *only)
-		os.Exit(2)
+	wantChurn := want["churn"]
+	wantAdv := want["adversaries"] || want["adversary"]
+	if len(needCase) == 0 && !wantChurn && !wantAdv {
+		fmt.Fprintf(stderr, "nothing to do for -only=%s\n", *only)
+		return 2
 	}
-
-	// One batch over a single shared worker pool. Per-case seeds match
-	// the old per-case runs (seed + id), so the numbers are unchanged;
-	// only the scheduling is denser.
-	specs := scenario.Table4()
-	if *islands {
-		specs = scenario.Table4Islands()
-	}
-	var runs []experiment.ScenarioRun
-	for _, spec := range specs {
-		if !needCase[spec.ID] {
-			continue
-		}
-		runs = append(runs, experiment.ScenarioRun{Spec: spec, Seed: *seed + uint64(spec.ID)})
-	}
-	// Seed doubles as the batch fallback so a wrapped per-case seed of 0
-	// still derives deterministically from the invocation seed.
-	opts := experiment.Options{Seed: *seed, Parallelism: *par}
-	if !*quiet {
-		for _, r := range runs {
-			fmt.Fprintf(os.Stderr, "queued %s at scale %q (%d generations × %d reps)\n",
-				r.Spec.Name, sc.Name, sc.Generations, sc.Repetitions)
-		}
-		opts.OnReplicate = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d replications", done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
-		}
-	}
-	resList, err := experiment.RunScenarios(runs, sc, opts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	results := map[int]*experiment.CaseResult{}
-	for i, res := range resList {
-		results[runs[i].Spec.ID] = res
-	}
-
-	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := experiment.WriteJSON(f, results, 10); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	// WriteJSON covers the paper cases only; refuse up front rather than
+	// exit 0 having silently skipped the user's requested artifact.
+	if *jsonPath != "" && len(needCase) == 0 {
+		fmt.Fprintln(stderr, "experiments: -json covers the paper cases; add fig4 or a table to -only")
+		return 2
 	}
 
 	render := func(t *report.Table) string {
@@ -123,28 +115,128 @@ func main() {
 		}
 		return t.Render()
 	}
-	if all || want["fig4"] {
-		fmt.Println(experiment.Fig4Chart(results))
-		fmt.Println(render(experiment.Fig4Table(results)))
-	}
-	if all || want["table5"] {
-		fmt.Println(render(experiment.Table5(results[3], results[4])))
-	}
-	if all || want["table6"] {
-		fmt.Println(render(experiment.Table6(results[3], results[4])))
-	}
-	if all || want["table7"] {
-		fmt.Println(render(experiment.Table7(results[3], results[4])))
-	}
-	if all || want["table8"] {
-		fmt.Println(render(experiment.Table8(results[3])))
-	}
-	if all || want["table9"] {
-		fmt.Println(render(experiment.Table9(results[4])))
-	}
-	for id := 1; id <= 4; id++ {
-		if res := results[id]; res != nil && res.Islands != nil {
-			fmt.Println(render(experiment.IslandTable(res)))
+	opts := experiment.Options{Seed: *seed, Parallelism: *par}
+	if !*quiet {
+		opts.OnReplicate = func(done, total int) {
+			fmt.Fprintf(stderr, "\r%d/%d replications", done, total)
+			if done == total {
+				fmt.Fprintln(stderr)
+			}
 		}
 	}
+
+	// One batch over a single shared worker pool. Per-case seeds match
+	// the old per-case runs (seed + id), so the numbers are unchanged;
+	// only the scheduling is denser.
+	if len(needCase) > 0 {
+		specs := scenario.Table4()
+		if *islands {
+			specs = scenario.Table4Islands()
+		}
+		var runs []experiment.ScenarioRun
+		for _, spec := range specs {
+			if !needCase[spec.ID] {
+				continue
+			}
+			runs = append(runs, experiment.ScenarioRun{Spec: spec, Seed: *seed + uint64(spec.ID)})
+		}
+		// Seed doubles as the batch fallback so a wrapped per-case seed
+		// of 0 still derives deterministically from the invocation seed.
+		if !*quiet {
+			for _, r := range runs {
+				fmt.Fprintf(stderr, "queued %s at scale %q (%d generations × %d reps)\n",
+					r.Spec.Name, sc.Name, sc.Generations, sc.Repetitions)
+			}
+		}
+		resList, err := experiment.RunScenarios(runs, sc, opts)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		results := map[int]*experiment.CaseResult{}
+		for i, res := range resList {
+			results[runs[i].Spec.ID] = res
+		}
+
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			if err := experiment.WriteJSON(f, results, 10); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+		}
+
+		if all || want["fig4"] {
+			fmt.Fprintln(stdout, experiment.Fig4Chart(results))
+			fmt.Fprintln(stdout, render(experiment.Fig4Table(results)))
+		}
+		if all || want["table5"] {
+			fmt.Fprintln(stdout, render(experiment.Table5(results[3], results[4])))
+		}
+		if all || want["table6"] {
+			fmt.Fprintln(stdout, render(experiment.Table6(results[3], results[4])))
+		}
+		if all || want["table7"] {
+			fmt.Fprintln(stdout, render(experiment.Table7(results[3], results[4])))
+		}
+		if all || want["table8"] {
+			fmt.Fprintln(stdout, render(experiment.Table8(results[3])))
+		}
+		if all || want["table9"] {
+			fmt.Fprintln(stdout, render(experiment.Table9(results[4])))
+		}
+		for id := 1; id <= 4; id++ {
+			if res := results[id]; res != nil && res.Islands != nil {
+				fmt.Fprintln(stdout, render(experiment.IslandTable(res)))
+			}
+		}
+	}
+
+	// The dynamics artifacts run their scenario families end to end and
+	// render the extension tables.
+	runFamily := func(name string) ([]*experiment.CaseResult, int) {
+		fam, err := scenario.FamilyByName(name)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return nil, 1
+		}
+		var runs []experiment.ScenarioRun
+		for _, spec := range fam.Specs() {
+			runs = append(runs, experiment.ScenarioRun{Spec: spec})
+		}
+		results, err := experiment.RunScenarios(runs, sc, opts)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return nil, 1
+		}
+		return results, 0
+	}
+	if wantChurn {
+		results, code := runFamily("churn-sweep")
+		if code != 0 {
+			return code
+		}
+		fmt.Fprintln(stdout, render(experiment.ChurnSweepTable(results)))
+		for _, res := range results {
+			if t := experiment.RecoveryTable(res); t != nil {
+				fmt.Fprintln(stdout, render(t))
+			}
+		}
+	}
+	if wantAdv {
+		results, code := runFamily("adversary-grid")
+		if code != 0 {
+			return code
+		}
+		fmt.Fprintln(stdout, render(experiment.AdversaryTable(results)))
+	}
+	return 0
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"adhocga/internal/bitstring"
+	"adhocga/internal/dynamics"
 	"adhocga/internal/ga"
 	"adhocga/internal/game"
 	"adhocga/internal/metrics"
@@ -34,6 +35,15 @@ type Config struct {
 	Seed           uint64 // master seed; identical configs+seeds replay exactly
 	Eval           tournament.EvalConfig
 	GA             ga.Config
+
+	// Dynamics, when non-nil and enabled, perturbs the network and
+	// population at generation barriers (internal/dynamics): churn with
+	// random immigrants and identity turnover, route-length landscape
+	// drift, and a Byzantine adversary cohort in every tournament. The
+	// perturbation stream is split from Seed before any evaluation
+	// randomness, so a nil or disabled Dynamics is bit-identical to a
+	// build without the layer.
+	Dynamics *dynamics.Config
 
 	// OnGeneration, when non-nil, receives each generation's snapshot
 	// right after evaluation (before reproduction).
@@ -100,6 +110,22 @@ func (c *Config) Validate() error {
 	if err := c.Eval.Validate(c.PopulationSize); err != nil {
 		return err
 	}
+	if c.Dynamics != nil {
+		if err := c.Dynamics.Validate(); err != nil {
+			return err
+		}
+		if adv := c.Dynamics.AdversaryCount(); adv > 0 {
+			if seats := c.Eval.TournamentSize - c.Eval.MaxCSN() - adv; seats < 1 {
+				return fmt.Errorf("core: %d adversaries plus %d CSN leave %d normal seats of %d",
+					adv, c.Eval.MaxCSN(), seats, c.Eval.TournamentSize)
+			}
+		}
+		// Liars attack exclusively through gossip; without it they are
+		// inert always-forwarders masquerading as adversaries.
+		if c.Dynamics.Liars > 0 && c.Eval.Tournament.GossipInterval < 1 {
+			return fmt.Errorf("core: %d gossip liars but gossip is disabled (set Eval.Tournament.GossipInterval)", c.Dynamics.Liars)
+		}
+	}
 	return c.GA.Validate()
 }
 
@@ -146,9 +172,15 @@ type Engine struct {
 	r        *rng.Source
 	normals  []*game.Player
 	csn      []*game.Player
+	byz      []*game.Player // Byzantine cohort; empty without dynamics
 	registry []*game.Player
 	gen      *network.Generator
 	genomes  []ga.Individual
+
+	// dyn is the perturbation model (nil when dynamics are disabled);
+	// reproductions counts Reproduce calls to phase its barriers.
+	dyn           *dynamics.Model
+	reproductions int
 }
 
 // New validates the configuration and builds an Engine with a random
@@ -177,7 +209,27 @@ func New(cfg Config) (*Engine, error) {
 	for i := range e.csn {
 		e.csn[i] = game.NewSelfish(network.NodeID(cfg.PopulationSize + i))
 	}
-	e.registry = tournament.BuildRegistry(e.normals, e.csn)
+	if cfg.Dynamics != nil && cfg.Dynamics.Enabled() {
+		// The perturbation stream is split from the root seed through a
+		// throwaway source so the engine's own stream (e.r) is untouched:
+		// with dynamics disabled the evaluation replay is bit-identical.
+		//
+		// The rewiring walk starts at the configured base mode's position
+		// on the SP↔LP axis; custom modes (whose position the name cannot
+		// reveal) seed at the SP end.
+		alpha, _ := network.ModeAlpha(cfg.Eval.Tournament.Mode)
+		ids := cfg.PopulationSize + maxCSN + cfg.Dynamics.AdversaryCount()
+		dyn, err := dynamics.NewModel(*cfg.Dynamics, rng.New(cfg.Seed).Split(), ids, alpha)
+		if err != nil {
+			return nil, err
+		}
+		e.dyn = dyn
+		e.byz = dyn.NewAdversaries(network.NodeID(cfg.PopulationSize + maxCSN))
+		if cfg.Dynamics.OnOff > 0 {
+			e.cfg.Eval.Tournament.RoundDriver = dyn
+		}
+	}
+	e.registry = tournament.BuildRegistry(e.normals, e.csn, e.byz)
 	// Pre-size every dense reputation store to the registry and install
 	// the configured trust table, so the generational loop never grows a
 	// store or recomputes cached levels mid-run.
@@ -228,7 +280,7 @@ func (e *Engine) EvaluateGeneration(collector *metrics.Collector) error {
 		e.normals[i].Strategy = strategy.New(ind.Genome.Clone())
 	}
 	collector.Reset()
-	if err := tournament.Evaluate(e.normals, e.csn, e.registry, &e.cfg.Eval, e.gen, e.r, collector); err != nil {
+	if err := tournament.EvaluateWithAdversaries(e.normals, e.csn, e.byz, e.registry, &e.cfg.Eval, e.gen, e.r, collector); err != nil {
 		return err
 	}
 	// Fitness by eq. 1.
@@ -240,7 +292,11 @@ func (e *Engine) EvaluateGeneration(collector *metrics.Collector) error {
 
 // Reproduce replaces the population with the next generation by the §5
 // scheme (selection, crossover, mutation), applying the configured
-// constraint to every offspring.
+// constraint to every offspring. When dynamics are enabled, the
+// perturbation barrier fires here after reproduction — churn replaces a
+// seeded fraction of the offspring with naive immigrants under fresh
+// identities, and the rewiring walk may shift the route-length landscape
+// for the coming generations.
 func (e *Engine) Reproduce() error {
 	next, err := ga.NextGeneration(e.genomes, &e.cfg.GA, e.r)
 	if err != nil {
@@ -252,8 +308,21 @@ func (e *Engine) Reproduce() error {
 		}
 		e.genomes[i] = ga.Individual{Genome: next[i]}
 	}
+	gen := e.reproductions
+	e.reproductions++
+	if e.dyn != nil && e.dyn.Barrier(gen) {
+		e.dyn.Churn(e.genomes, e.normals, &e.registry, e.cfg.Constraint)
+		if e.dyn.Rewire() {
+			e.gen.SetMode(e.dyn.PathMode())
+		}
+	}
 	return nil
 }
+
+// Dynamics returns the engine's perturbation model, or nil when dynamics
+// are disabled. Exposed for reporting (churn/rewire counters, current
+// route-length mix); callers must not drive the model themselves.
+func (e *Engine) Dynamics() *dynamics.Model { return e.dyn }
 
 // Population returns the engine's live individuals. Between
 // EvaluateGeneration and Reproduce each entry carries the fitness just

@@ -23,6 +23,11 @@ type job struct {
 	// engine; iconfig builds the replicate's island configuration.
 	islands *scenario.IslandSpec
 	iconfig func(repSeed uint64) (island.Config, error)
+	// dyn is the scenario's resolved dynamics block (nil when static);
+	// tsize the resolved tournament size. Both ride through to the
+	// CaseResult for the churn/adversary reporting.
+	dyn   *scenario.DynamicsSpec
+	tsize int
 }
 
 // caseJob wraps a Table 4-style Case in a job. The configuration is the
@@ -73,6 +78,8 @@ func specJob(spec scenario.Spec, defaults Scale, fallbackSeed uint64) (job, erro
 		config:  resolved.Config,
 		islands: resolved.Islands,
 		iconfig: resolved.IslandConfig,
+		dyn:     resolved.Dynamics,
+		tsize:   resolved.TournamentSize,
 	}, nil
 }
 
@@ -150,6 +157,14 @@ func runJobs(jobs []job, opts Options) ([]*CaseResult, error) {
 		out[ji] = Aggregate(j.c, j.sc, results[ji])
 		if j.islands != nil {
 			out[ji].Islands = SummarizeIslands(j.islands, islandResults[ji])
+		}
+		out[ji].TournamentSize = j.tsize
+		if out[ji].TournamentSize <= 0 {
+			out[ji].TournamentSize = 50
+		}
+		out[ji].Dynamics = j.dyn
+		if d := j.dyn; d != nil && d.ChurnRate > 0 {
+			out[ji].Recovery = SummarizeRecovery(out[ji].CoopMean, d.Interval, 0)
 		}
 	}
 	return out, nil

@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"fmt"
+
+	"adhocga/internal/dynamics"
+	"adhocga/internal/report"
+	"adhocga/internal/scenario"
+)
+
+// Reporting for the environment-perturbation layer (internal/dynamics):
+// how hard each churn barrier knocks cooperation down and how many
+// generations the population needs to climb back (the recovery-after-
+// churn view), and how evolved cooperation degrades with the Byzantine
+// adversary fraction (the cooperation-vs-adversary view).
+
+// DefaultRecoveryTolerance is the absolute cooperation shortfall from the
+// pre-barrier level within which a generation counts as recovered.
+const DefaultRecoveryTolerance = 0.02
+
+// ChurnBarrier describes one perturbation barrier's effect on the
+// cooperation series.
+type ChurnBarrier struct {
+	// Generation is the first generation evaluated after the barrier.
+	Generation int
+	// Pre is the cooperation level of the last generation before the
+	// barrier; Dip is how far below Pre the first perturbed generation
+	// fell (negative when cooperation did not drop at all).
+	Pre, Dip float64
+	// RecoveryGens is the number of generations after the barrier until
+	// cooperation was back within the tolerance of Pre (0 = the very
+	// first perturbed generation already was); −1 when it never recovered
+	// before the next barrier or the end of the run.
+	RecoveryGens int
+}
+
+// RecoverySummary aggregates the per-barrier recovery view of one
+// scenario.
+type RecoverySummary struct {
+	Interval  int
+	Tolerance float64
+	Barriers  []ChurnBarrier
+	// MeanDip averages the dip over all barriers; MeanRecovery averages
+	// RecoveryGens over the recovered ones.
+	MeanDip      float64
+	MeanRecovery float64
+	Recovered    int
+	Unrecovered  int
+}
+
+// SummarizeRecovery scans a per-generation cooperation series for the
+// effect of perturbation barriers at the given interval (barriers fire
+// after generations interval−1, 2·interval−1, …, matching the dynamics
+// layer's phase) and summarizes dip depth and recovery time per barrier.
+// tol ≤ 0 uses DefaultRecoveryTolerance. Returns nil when the series is
+// too short to contain a barrier.
+func SummarizeRecovery(series []float64, interval int, tol float64) *RecoverySummary {
+	if interval < 1 {
+		interval = dynamics.DefaultInterval
+	}
+	if tol <= 0 {
+		tol = DefaultRecoveryTolerance
+	}
+	sum := &RecoverySummary{Interval: interval, Tolerance: tol}
+	dipTotal, recTotal := 0.0, 0
+	for g0 := interval; g0 < len(series); g0 += interval {
+		pre := series[g0-1]
+		b := ChurnBarrier{Generation: g0, Pre: pre, Dip: pre - series[g0], RecoveryGens: -1}
+		next := g0 + interval
+		if next > len(series) {
+			next = len(series)
+		}
+		for t := g0; t < next; t++ {
+			if series[t] >= pre-tol {
+				b.RecoveryGens = t - g0
+				break
+			}
+		}
+		if b.RecoveryGens >= 0 {
+			sum.Recovered++
+			recTotal += b.RecoveryGens
+		} else {
+			sum.Unrecovered++
+		}
+		dipTotal += b.Dip
+		sum.Barriers = append(sum.Barriers, b)
+	}
+	if len(sum.Barriers) == 0 {
+		return nil
+	}
+	sum.MeanDip = dipTotal / float64(len(sum.Barriers))
+	if sum.Recovered > 0 {
+		sum.MeanRecovery = float64(recTotal) / float64(sum.Recovered)
+	}
+	return sum
+}
+
+// RecoveryTable renders one scenario's per-barrier recovery view. Returns
+// nil when the result has no recovery summary (static scenario).
+func RecoveryTable(res *CaseResult) *report.Table {
+	sum := res.Recovery
+	if sum == nil {
+		return nil
+	}
+	t := report.NewTable(
+		fmt.Sprintf("recovery after churn — %s (barriers every %d generations, tolerance %.2f)",
+			res.Case.Name, sum.Interval, sum.Tolerance),
+		"generation", "pre-churn coop", "dip", "recovery gens")
+	for _, b := range sum.Barriers {
+		rec := "not recovered"
+		if b.RecoveryGens >= 0 {
+			rec = fmt.Sprint(b.RecoveryGens)
+		}
+		t.AddRow(fmt.Sprint(b.Generation), report.FormatFloat(b.Pre), report.FormatFloat(b.Dip), rec)
+	}
+	return t
+}
+
+// ChurnSweepTable renders the cross-scenario recovery summary: one row per
+// result, static controls included (their recovery columns stay empty).
+func ChurnSweepTable(results []*CaseResult) *report.Table {
+	t := report.NewTable("cooperation under churn (means over replications)",
+		"scenario", "churn", "interval", "final coop", "mean dip", "mean recovery", "unrecovered")
+	for _, res := range results {
+		churn, interval := "0%", "-"
+		dip, rec, unrec := "-", "-", "-"
+		if d := res.Dynamics; d != nil && d.ChurnRate > 0 {
+			churn = report.Percent(d.ChurnRate)
+			intv := d.Interval
+			if intv < 1 {
+				intv = dynamics.DefaultInterval
+			}
+			interval = fmt.Sprint(intv)
+		}
+		if sum := res.Recovery; sum != nil {
+			dip = report.FormatFloat(sum.MeanDip)
+			rec = fmt.Sprintf("%.1f", sum.MeanRecovery)
+			unrec = fmt.Sprintf("%d/%d", sum.Unrecovered, len(sum.Barriers))
+		}
+		t.AddRow(res.Case.Name, churn, interval, report.FormatFloat(res.FinalCoop.Mean), dip, rec, unrec)
+	}
+	return t
+}
+
+// AdversaryTable renders the cooperation-vs-adversary-fraction view over a
+// batch of results (the adversary-grid family): one row per scenario with
+// the cohort composition, its share of the tournament seats, and the
+// final evolved cooperation.
+func AdversaryTable(results []*CaseResult) *report.Table {
+	t := report.NewTable("cooperation vs Byzantine adversary fraction (means over replications)",
+		"scenario", "free-riders", "liars", "on-off", "adversary share", "final coop", "accepted from byz")
+	for _, res := range results {
+		var d scenario.DynamicsSpec
+		if res.Dynamics != nil {
+			d = *res.Dynamics
+		}
+		size := res.TournamentSize
+		if size <= 0 {
+			size = 50
+		}
+		share := float64(d.AdversaryCount()) / float64(size)
+		acc, _, _ := res.FromByz.Fractions()
+		accepted := "-"
+		if res.FromByz.Total() > 0 {
+			accepted = report.Percent(acc)
+		}
+		t.AddRow(res.Case.Name,
+			fmt.Sprint(d.FreeRiders), fmt.Sprint(d.Liars), fmt.Sprint(d.OnOff),
+			report.Percent(share), report.FormatFloat(res.FinalCoop.Mean), accepted)
+	}
+	return t
+}

@@ -123,9 +123,11 @@ type CaseResult struct {
 	PerEnv []EnvSummary
 
 	// FromNormal/FromCSN are final-generation request-response counts
-	// summed over replications (Table 6).
+	// summed over replications (Table 6); FromByz covers requests sourced
+	// by Byzantine adversaries when the dynamics layer seats any.
 	FromNormal metrics.ResponseCounts
 	FromCSN    metrics.ResponseCounts
+	FromByz    metrics.ResponseCounts
 
 	// Census pools the final strategy populations of all replications
 	// (Tables 7–9).
@@ -134,6 +136,16 @@ type CaseResult struct {
 	// Islands summarizes per-island convergence and migration when the
 	// scenario ran on the island-model engine; nil for serial scenarios.
 	Islands *IslandSummary
+
+	// TournamentSize is the resolved tournament size the scenario ran at
+	// (the paper's T; 50 unless the spec overrode it).
+	TournamentSize int
+	// Dynamics carries the scenario's resolved dynamics block; nil for
+	// static scenarios.
+	Dynamics *scenario.DynamicsSpec
+	// Recovery summarizes cooperation dips and recovery after churn
+	// barriers; nil unless the scenario churns.
+	Recovery *RecoverySummary
 }
 
 // Options tune a RunCase invocation.
@@ -181,12 +193,9 @@ func Aggregate(c Case, sc Scale, results []*core.Result) *CaseResult {
 			perEnvCoop[ei] = append(perEnvCoop[ei], env.CooperationLevel())
 			perEnvCSNFree[ei] = append(perEnvCSNFree[ei], env.CSNFreeFraction())
 		}
-		out.FromNormal.Accepted += res.FinalCollector.FromNormal.Accepted
-		out.FromNormal.RejectedByNormal += res.FinalCollector.FromNormal.RejectedByNormal
-		out.FromNormal.RejectedBySelfish += res.FinalCollector.FromNormal.RejectedBySelfish
-		out.FromCSN.Accepted += res.FinalCollector.FromCSN.Accepted
-		out.FromCSN.RejectedByNormal += res.FinalCollector.FromCSN.RejectedByNormal
-		out.FromCSN.RejectedBySelfish += res.FinalCollector.FromCSN.RejectedBySelfish
+		out.FromNormal.Add(res.FinalCollector.FromNormal)
+		out.FromCSN.Add(res.FinalCollector.FromCSN)
+		out.FromByz.Add(res.FinalCollector.FromByz)
 		out.Census.AddAll(res.FinalStrategies)
 	}
 

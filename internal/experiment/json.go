@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"adhocga/internal/stats"
 )
@@ -47,7 +48,25 @@ type SummaryJSON struct {
 }
 
 func summaryJSON(s stats.Summary) SummaryJSON {
-	return SummaryJSON{N: s.N, Mean: s.Mean, StdDev: s.StdDev, Min: s.Min, Max: s.Max}
+	return SummaryJSON{N: s.N, Mean: s.Mean, StdDev: jsonFloat(s.StdDev), Min: s.Min, Max: s.Max}
+}
+
+// jsonFloat maps the stats package's NaN sentinel (dispersion of fewer
+// than two samples) to 0, which JSON can encode; a single-repetition run
+// reports zero spread rather than failing to serialize.
+func jsonFloat(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+func jsonFloats(vs []float64) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = jsonFloat(v)
+	}
+	return out
 }
 
 // EnvJSON is one environment's final-generation summary.
@@ -85,7 +104,7 @@ func (r *CaseResult) ToJSON(topK int) CaseJSON {
 			Repetitions: r.Scale.Repetitions,
 		},
 		CoopMean:         r.CoopMean,
-		CoopStd:          r.CoopStd,
+		CoopStd:          jsonFloats(r.CoopStd),
 		MeanEnvCoop:      r.MeanEnvCoopMean,
 		FinalCoop:        summaryJSON(r.FinalCoop),
 		FinalMeanEnvCoop: summaryJSON(r.FinalMeanEnvCoop),

@@ -15,7 +15,8 @@ import (
 	"adhocga/internal/trust"
 )
 
-// NodeType distinguishes the two player types of §4.3.
+// NodeType distinguishes the player types: the paper's two (§4.3) plus
+// the Byzantine adversaries of the dynamics extension.
 type NodeType uint8
 
 const (
@@ -25,14 +26,61 @@ const (
 	// Selfish nodes (the paper's CSN, "constantly selfish nodes") never
 	// forward and are excluded from selection and reproduction.
 	Selfish
+	// Byzantine nodes run a fixed adversarial behavior (see Adversary)
+	// beyond plain selfishness: lying in gossip, on-off attacking, or
+	// free-riding. Like CSN they participate in tournaments but never in
+	// selection or reproduction.
+	Byzantine
 )
 
-// String returns "normal" or "selfish".
+// String returns "normal", "selfish", or "byzantine".
 func (t NodeType) String() string {
-	if t == Selfish {
+	switch t {
+	case Selfish:
 		return "selfish"
+	case Byzantine:
+		return "byzantine"
+	default:
+		return "normal"
 	}
-	return "normal"
+}
+
+// Adversary identifies the Byzantine behavior a player runs; AdvNone for
+// normal and plain-selfish players. The behaviors themselves live in
+// internal/dynamics (strategy scheduling) and internal/tournament (gossip
+// lying) — the game package only carries the tag so the hot path stays a
+// plain strategy lookup.
+type Adversary uint8
+
+const (
+	// AdvNone marks a non-adversarial player.
+	AdvNone Adversary = iota
+	// AdvFreeRider sources packets like everyone else but never forwards
+	// (its strategy is pinned to AllDiscard). Unlike CSN, free-riders are
+	// part of the dynamics cohort present in every environment.
+	AdvFreeRider
+	// AdvLiar forwards reliably to keep its own reputation high, but
+	// injects inverted observations when chosen as a gossip peer
+	// (trust.MergeInverted).
+	AdvLiar
+	// AdvOnOff alternates between a forwarding phase (building trust) and
+	// a discarding phase, on a fixed round schedule driven by the dynamics
+	// layer through the tournament's RoundDriver hook.
+	AdvOnOff
+)
+
+// String returns the adversary kind's short name.
+func (a Adversary) String() string {
+	switch a {
+	case AdvFreeRider:
+		return "free-rider"
+	case AdvLiar:
+		return "liar"
+	case AdvOnOff:
+		return "on-off"
+	default:
+		return "none"
+	}
 }
 
 // PayoffTable holds the two payoff tables of Fig 2a. Forward and Discard
@@ -165,6 +213,7 @@ func (a *Account) Reset() { *a = Account{} }
 type Player struct {
 	ID       network.NodeID
 	Type     NodeType
+	Adv      Adversary // AdvNone unless Type is Byzantine
 	Strategy strategy.Strategy
 	Rep      *trust.Store
 	Acct     Account
@@ -179,6 +228,14 @@ func NewNormal(id network.NodeID, s strategy.Strategy) *Player {
 // to AllDiscard.
 func NewSelfish(id network.NodeID) *Player {
 	return &Player{ID: id, Type: Selfish, Strategy: strategy.AllDiscard(), Rep: trust.NewStore()}
+}
+
+// NewByzantine returns a Byzantine player running the given adversarial
+// behavior with the given (fixed, non-evolving) base strategy. The
+// dynamics layer constructs these and may swap the strategy at round
+// boundaries (on-off attacks).
+func NewByzantine(id network.NodeID, adv Adversary, s strategy.Strategy) *Player {
+	return &Player{ID: id, Type: Byzantine, Adv: adv, Strategy: s, Rep: trust.NewStore()}
 }
 
 // ResetForGeneration clears reputation memory and the payoff account, as

@@ -45,19 +45,26 @@ func (e *EnvStats) CSNFreeFraction() float64 {
 
 // ResponseCounts tallies what happened to forwarding requests: accepted
 // (forwarded), rejected by a normal player, or rejected by a CSN
-// (Table 6's three rows).
+// (Table 6's three rows). Drops by Byzantine adversaries (the dynamics
+// extension) are tallied separately so Table 6's CSN attribution stays
+// comparable with the paper.
 type ResponseCounts struct {
-	Accepted          uint64
-	RejectedByNormal  uint64
-	RejectedBySelfish uint64
+	Accepted            uint64
+	RejectedByNormal    uint64
+	RejectedBySelfish   uint64
+	RejectedByByzantine uint64
 }
 
 // Total returns the number of requests recorded.
 func (r ResponseCounts) Total() uint64 {
-	return r.Accepted + r.RejectedByNormal + r.RejectedBySelfish
+	return r.Accepted + r.RejectedByNormal + r.RejectedBySelfish + r.RejectedByByzantine
 }
 
-// Fractions returns the three shares of Total, or zeros when empty.
+// Fractions returns the shares of Total for the paper's three Table 6
+// rows — accepted, rejected-by-normal, rejected-by-CSN — or zeros when
+// empty. Byzantine rejections count toward Total but have no share here,
+// so in dynamics runs the three values may sum below 1; compute
+// RejectedByByzantine/Total for the fourth share.
 func (r ResponseCounts) Fractions() (accepted, rejNormal, rejSelfish float64) {
 	t := r.Total()
 	if t == 0 {
@@ -75,9 +82,11 @@ type Collector struct {
 	envs []EnvStats
 	cur  *EnvStats
 
-	// Requests from normal players and from CSN (Table 6 columns).
+	// Requests from normal players and from CSN (Table 6 columns), plus
+	// the requests Byzantine adversaries sourced (dynamics extension).
 	FromNormal ResponseCounts
 	FromCSN    ResponseCounts
+	FromByz    ResponseCounts
 }
 
 // NewCollector returns an empty Collector.
@@ -127,8 +136,11 @@ func (c *Collector) RecordGame(src *game.Player, inters []*game.Player, firstDro
 		received = firstDrop + 1
 	}
 	counts := &c.FromNormal
-	if src.Type == game.Selfish {
+	switch src.Type {
+	case game.Selfish:
 		counts = &c.FromCSN
+	case game.Byzantine:
+		counts = &c.FromByz
 	}
 	for i := 0; i < received; i++ {
 		forwarded := delivered || i < firstDrop
@@ -137,6 +149,8 @@ func (c *Collector) RecordGame(src *game.Player, inters []*game.Player, firstDro
 			counts.Accepted++
 		case inters[i].Type == game.Selfish:
 			counts.RejectedBySelfish++
+		case inters[i].Type == game.Byzantine:
+			counts.RejectedByByzantine++
 		default:
 			counts.RejectedByNormal++
 		}
@@ -201,12 +215,17 @@ func (c *Collector) Merge(o *Collector) {
 		e.NormalDelivered += o.envs[i].NormalDelivered
 		e.CSNFreePaths += o.envs[i].CSNFreePaths
 	}
-	c.FromNormal.Accepted += o.FromNormal.Accepted
-	c.FromNormal.RejectedByNormal += o.FromNormal.RejectedByNormal
-	c.FromNormal.RejectedBySelfish += o.FromNormal.RejectedBySelfish
-	c.FromCSN.Accepted += o.FromCSN.Accepted
-	c.FromCSN.RejectedByNormal += o.FromCSN.RejectedByNormal
-	c.FromCSN.RejectedBySelfish += o.FromCSN.RejectedBySelfish
+	c.FromNormal.Add(o.FromNormal)
+	c.FromCSN.Add(o.FromCSN)
+	c.FromByz.Add(o.FromByz)
+}
+
+// Add accumulates every count of o into r.
+func (r *ResponseCounts) Add(o ResponseCounts) {
+	r.Accepted += o.Accepted
+	r.RejectedByNormal += o.RejectedByNormal
+	r.RejectedBySelfish += o.RejectedBySelfish
+	r.RejectedByByzantine += o.RejectedByByzantine
 }
 
 // Reset clears the collector for reuse in the next generation.
@@ -215,4 +234,5 @@ func (c *Collector) Reset() {
 	c.cur = nil
 	c.FromNormal = ResponseCounts{}
 	c.FromCSN = ResponseCounts{}
+	c.FromByz = ResponseCounts{}
 }

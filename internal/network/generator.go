@@ -47,6 +47,12 @@ func NewGenerator(mode PathMode) *Generator {
 // Mode returns the generator's path mode.
 func (g *Generator) Mode() PathMode { return g.mode }
 
+// SetMode swaps the generator's path mode in place, keeping the scratch
+// buffers warm. The dynamics layer calls it at generation barriers when
+// the rewiring walk moves the route-length landscape; it must never be
+// called mid-tournament.
+func (g *Generator) SetMode(mode PathMode) { g.mode = mode }
+
 // Candidates generates the set of available routes for one game: all
 // candidates share the same source, destination, and hop count, differing
 // in their intermediates. participants must contain src. The returned

@@ -128,6 +128,63 @@ func LongerPathLengths() LengthDist {
 	return d
 }
 
+// MixedPathLengths returns a hop-count distribution that linearly blends
+// the SP and LP distributions of Table 2: alpha 0 is exactly
+// ShorterPathLengths, alpha 1 exactly LongerPathLengths, and values in
+// between shift probability mass toward longer routes. The dynamics layer
+// (internal/dynamics) drives alpha as a seeded random walk to model link
+// rewiring under mobility — as links churn, the route-length statistics of
+// the whole network drift between the paper's two regimes. Alpha outside
+// [0,1] is clamped.
+func MixedPathLengths(alpha float64) LengthDist {
+	if alpha <= 0 {
+		return ShorterPathLengths()
+	}
+	if alpha >= 1 {
+		return LongerPathLengths()
+	}
+	sp, lp := ShorterPathLengths(), LongerPathLengths()
+	probs := make(map[int]float64, MaxHops-MinHops+1)
+	for h := MinHops; h <= MaxHops; h++ {
+		if p := (1-alpha)*sp.Prob(h) + alpha*lp.Prob(h); p > 0 {
+			probs[h] = p
+		}
+	}
+	d, err := NewLengthDist(probs)
+	if err != nil {
+		panic(err) // blend of two valid distributions is valid
+	}
+	return d
+}
+
+// MixedPaths bundles the blended hop distribution with the Table 3
+// alternates into a PathMode named "MIX(alpha)".
+func MixedPaths(alpha float64) PathMode {
+	return PathMode{
+		Name:       fmt.Sprintf("MIX(%.3f)", alpha),
+		Lengths:    MixedPathLengths(alpha),
+		Alternates: Table3Alternates(),
+	}
+}
+
+// ModeAlpha returns the SP↔LP mix parameter a mode's name represents:
+// 0 for SP, 1 for LP, the embedded value for MixedPaths modes. The
+// boolean is false for custom modes, whose position on the SP↔LP axis is
+// unknowable from the name — callers seed their own default then.
+func ModeAlpha(mode PathMode) (float64, bool) {
+	switch mode.Name {
+	case "SP":
+		return 0, true
+	case "LP":
+		return 1, true
+	}
+	var alpha float64
+	if n, err := fmt.Sscanf(mode.Name, "MIX(%f)", &alpha); n == 1 && err == nil && alpha >= 0 && alpha <= 1 {
+		return alpha, true
+	}
+	return 0, false
+}
+
 // MaxAlternatePaths is the largest number of alternate routes Table 3
 // assigns positive probability.
 const MaxAlternatePaths = 3

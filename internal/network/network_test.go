@@ -143,3 +143,47 @@ func TestPathModes(t *testing.T) {
 		t.Error("LP mode should pick 9 hops with probability 0.15")
 	}
 }
+
+func TestMixedPathLengthsBlend(t *testing.T) {
+	sp, lp := ShorterPathLengths(), LongerPathLengths()
+	if d := MixedPathLengths(0); d.Prob(9) != sp.Prob(9) || d.Prob(2) != sp.Prob(2) {
+		t.Error("alpha 0 is not SP")
+	}
+	if d := MixedPathLengths(1); d.Prob(9) != lp.Prob(9) || d.Prob(2) != lp.Prob(2) {
+		t.Error("alpha 1 is not LP")
+	}
+	d := MixedPathLengths(0.5)
+	for h := MinHops; h <= MaxHops; h++ {
+		want := 0.5*sp.Prob(h) + 0.5*lp.Prob(h)
+		if math.Abs(d.Prob(h)-want) > 1e-12 {
+			t.Errorf("alpha 0.5 Prob(%d) = %v, want %v", h, d.Prob(h), want)
+		}
+	}
+	// Clamping.
+	if d := MixedPathLengths(-2); d.Prob(2) != sp.Prob(2) {
+		t.Error("alpha below 0 not clamped to SP")
+	}
+	if d := MixedPathLengths(3); d.Prob(10) != lp.Prob(10) {
+		t.Error("alpha above 1 not clamped to LP")
+	}
+}
+
+func TestModeAlpha(t *testing.T) {
+	cases := []struct {
+		mode  PathMode
+		alpha float64
+		ok    bool
+	}{
+		{ShorterPaths(), 0, true},
+		{LongerPaths(), 1, true},
+		{MixedPaths(0.25), 0.25, true},
+		{PathMode{Name: "custom"}, 0, false},
+		{PathMode{Name: "MIX(garbage)"}, 0, false},
+	}
+	for _, tc := range cases {
+		alpha, ok := ModeAlpha(tc.mode)
+		if ok != tc.ok || (ok && math.Abs(alpha-tc.alpha) > 1e-9) {
+			t.Errorf("ModeAlpha(%q) = %v/%v, want %v/%v", tc.mode.Name, alpha, ok, tc.alpha, tc.ok)
+		}
+	}
+}

@@ -40,6 +40,16 @@ func Families() []Family {
 			Specs:       MixedEnvironments,
 		},
 		{
+			Name:        "churn-sweep",
+			Description: "node churn sweep: immigrant replacement rate 0–40% every 5 generations, with mobility rewiring",
+			Specs:       ChurnSweep,
+		},
+		{
+			Name:        "adversary-grid",
+			Description: "Byzantine adversary grid: free-rider / liar / on-off cohorts of 2–10 nodes per 50-player tournament",
+			Specs:       AdversaryGrid,
+		},
+		{
 			Name:        "table4-islands",
 			Description: "the four Table 4 cases on a 4-island ring (population 200, 2 migrants every 10 generations)",
 			Specs:       Table4Islands,
@@ -174,6 +184,68 @@ func IslandTopologySweep() []Spec {
 				PathMode:     "SP",
 				Population:   200,
 				Islands:      &IslandSpec{Count: 4, Topology: topo, Interval: 5, Migrants: 2, Replace: replace},
+			})
+		}
+	}
+	return specs
+}
+
+// ChurnSweep varies the per-barrier immigrant replacement rate on the TE2
+// environment (10 CSN) with a mild mobility rewiring walk, asking how much
+// population turnover the evolved cooperation survives and how quickly it
+// recovers after each perturbation barrier (the recovery-after-churn
+// tables of internal/experiment). Rate 0 is the static control.
+func ChurnSweep() []Spec {
+	var specs []Spec
+	for _, rate := range []float64{0, 0.05, 0.1, 0.2, 0.4} {
+		spec := Spec{
+			Name:         fmt.Sprintf("churn %d%% every 5 gens", int(rate*100)),
+			Environments: []EnvSpec{{Name: "TE2", CSN: 10}},
+			PathMode:     "SP",
+		}
+		if rate > 0 {
+			spec.Dynamics = &DynamicsSpec{
+				Interval:   5,
+				ChurnRate:  rate,
+				RewireProb: 0.5,
+				RewireStep: 0.2,
+			}
+		}
+		specs = append(specs, spec)
+	}
+	return specs
+}
+
+// AdversaryGrid crosses the three Byzantine behaviors with cohort sizes 2,
+// 5 and 10 per 50-player tournament on the otherwise CSN-free TE1
+// environment, so the measured damage is attributable to the adversaries
+// alone. Gossip runs in every cell (liars need a channel to lie on, and
+// keeping it on everywhere makes the cells comparable); a clean no-
+// adversary control anchors the cooperation-vs-adversary-fraction table.
+func AdversaryGrid() []Spec {
+	specs := []Spec{{
+		Name:         "adversaries none (control)",
+		Environments: []EnvSpec{{Name: "TE1", CSN: 0}},
+		PathMode:     "SP",
+		Gossip:       &GossipSpec{Interval: 10},
+	}}
+	for _, kind := range []string{"free-riders", "liars", "on-off"} {
+		for _, count := range []int{2, 5, 10} {
+			d := &DynamicsSpec{}
+			switch kind {
+			case "free-riders":
+				d.FreeRiders = count
+			case "liars":
+				d.Liars = count
+			case "on-off":
+				d.OnOff = count
+			}
+			specs = append(specs, Spec{
+				Name:         fmt.Sprintf("adversaries %s x%d", kind, count),
+				Environments: []EnvSpec{{Name: "TE1", CSN: 0}},
+				PathMode:     "SP",
+				Dynamics:     d,
+				Gossip:       &GossipSpec{Interval: 10},
 			})
 		}
 	}

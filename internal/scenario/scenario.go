@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"adhocga/internal/core"
+	"adhocga/internal/dynamics"
 	"adhocga/internal/ga"
 	"adhocga/internal/island"
 	"adhocga/internal/network"
@@ -66,6 +67,75 @@ type IslandSpec struct {
 	// Replace is "worst" (default) or "random": which residents incoming
 	// migrants evict.
 	Replace string `json:"replace,omitempty"`
+}
+
+// DynamicsSpec configures the environment-perturbation layer
+// (internal/dynamics): churn with random immigrants and identity
+// turnover, route-length landscape drift under mobility, and a Byzantine
+// adversary cohort. Zero-valued tuning fields keep the dynamics defaults
+// (barriers every generation, 1.5× identity headroom, 0.25 rewire step,
+// 20/10 on-off schedule); an absent block disables the layer entirely and
+// keeps runs bit-identical to the static reproduction.
+type DynamicsSpec struct {
+	// Interval is the number of generations between perturbation barriers
+	// (default 1).
+	Interval int `json:"interval,omitempty"`
+	// ChurnRate is the population fraction replaced by naive immigrants
+	// with fresh identities per barrier, in [0,1].
+	ChurnRate float64 `json:"churn_rate,omitempty"`
+	// IDHeadroom bounds identity-space growth before IDs recycle
+	// (default 1.5).
+	IDHeadroom float64 `json:"id_headroom,omitempty"`
+	// RewireProb and RewireStep drive the seeded SP↔LP route-length walk
+	// modeling link rewiring under mobility.
+	RewireProb float64 `json:"rewire_prob,omitempty"`
+	RewireStep float64 `json:"rewire_step,omitempty"`
+	// FreeRiders, Liars and OnOff size the Byzantine cohort seated in
+	// every tournament.
+	FreeRiders int `json:"free_riders,omitempty"`
+	Liars      int `json:"liars,omitempty"`
+	OnOff      int `json:"on_off,omitempty"`
+	// OnRounds/OffRounds schedule the on-off attack (defaults 20/10).
+	OnRounds  int `json:"on_rounds,omitempty"`
+	OffRounds int `json:"off_rounds,omitempty"`
+}
+
+// Config converts the spec to the engine-level dynamics configuration.
+func (d *DynamicsSpec) Config() *dynamics.Config {
+	if d == nil {
+		return nil
+	}
+	return &dynamics.Config{
+		Interval:   d.Interval,
+		ChurnRate:  d.ChurnRate,
+		IDHeadroom: d.IDHeadroom,
+		RewireProb: d.RewireProb,
+		RewireStep: d.RewireStep,
+		FreeRiders: d.FreeRiders,
+		Liars:      d.Liars,
+		OnOff:      d.OnOff,
+		OnRounds:   d.OnRounds,
+		OffRounds:  d.OffRounds,
+	}
+}
+
+// AdversaryCount returns the total Byzantine cohort the spec seats.
+func (d *DynamicsSpec) AdversaryCount() int {
+	if d == nil {
+		return 0
+	}
+	return d.FreeRiders + d.Liars + d.OnOff
+}
+
+// GossipSpec enables CORE-style second-hand reputation exchange in the
+// tournaments: every Interval rounds each normal player imports one random
+// peer's positive observations. It matters mostly for adversarial
+// scenarios — gossip liars can only lie when gossip runs. Weight defaults
+// to 0.25 and MinRate to 0.5 when left zero.
+type GossipSpec struct {
+	Interval int     `json:"interval"`
+	Weight   float64 `json:"weight,omitempty"`
+	MinRate  float64 `json:"min_rate,omitempty"`
 }
 
 // GASpec overrides genetic-algorithm parameters. Zero/nil fields keep the
@@ -115,6 +185,11 @@ type Spec struct {
 	// Islands, when set, runs the scenario on the island-model engine
 	// instead of the serial one.
 	Islands *IslandSpec `json:"islands,omitempty"`
+	// Dynamics, when set, enables the environment-perturbation layer
+	// (churn, landscape rewiring, Byzantine adversaries).
+	Dynamics *DynamicsSpec `json:"dynamics,omitempty"`
+	// Gossip, when set, enables second-hand reputation exchange.
+	Gossip *GossipSpec `json:"gossip,omitempty"`
 }
 
 // Validate checks the spec's structural invariants. Parameter interactions
@@ -159,6 +234,29 @@ func (s Spec) Validate() error {
 		}
 		if s.GA.SelectionTournament < 0 || s.GA.Elitism < 0 {
 			return fmt.Errorf("scenario %q: negative GA parameter", s.Name)
+		}
+	}
+	if d := s.Dynamics; d != nil {
+		if err := d.Config().Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		// Liars only misbehave through gossip (MergeInverted); without a
+		// gossip channel they would sit in every tournament as extra
+		// always-forwarders, silently *helping* cooperation while being
+		// reported as adversaries.
+		if d.Liars > 0 && (s.Gossip == nil || s.Gossip.Interval < 1) {
+			return fmt.Errorf("scenario %q: %d gossip liars but gossip is disabled — add a gossip block (liars attack through it)", s.Name, d.Liars)
+		}
+	}
+	if g := s.Gossip; g != nil {
+		if g.Interval < 0 {
+			return fmt.Errorf("scenario %q: negative gossip interval", s.Name)
+		}
+		if g.Weight < 0 || g.Weight > 1 {
+			return fmt.Errorf("scenario %q: gossip weight %v outside [0,1]", s.Name, g.Weight)
+		}
+		if g.MinRate < 0 || g.MinRate > 1 {
+			return fmt.Errorf("scenario %q: gossip min_rate %v outside [0,1]", s.Name, g.MinRate)
 		}
 	}
 	if isl := s.Islands; isl != nil {
@@ -262,6 +360,18 @@ func (s Spec) Config(seed uint64) (core.Config, error) {
 		}
 		if s.GA.Elitism > 0 {
 			cfg.GA.Elitism = s.GA.Elitism
+		}
+	}
+	cfg.Dynamics = s.Dynamics.Config()
+	if g := s.Gossip; g != nil && g.Interval > 0 {
+		cfg.Eval.Tournament.GossipInterval = g.Interval
+		cfg.Eval.Tournament.GossipWeight = g.Weight
+		if g.Weight == 0 {
+			cfg.Eval.Tournament.GossipWeight = 0.25
+		}
+		cfg.Eval.Tournament.GossipMinRate = g.MinRate
+		if g.MinRate == 0 {
+			cfg.Eval.Tournament.GossipMinRate = 0.5
 		}
 	}
 	if err := cfg.Validate(); err != nil {

@@ -68,11 +68,26 @@ func (c *EvalConfig) MaxCSN() int {
 // supplies candidate routes (normally a network.Generator for the
 // evaluation's path mode); rec may be nil.
 func Evaluate(normals, csn []*game.Player, registry []*game.Player, cfg *EvalConfig, provider PathProvider, r *rng.Source, rec Recorder) error {
+	return EvaluateWithAdversaries(normals, csn, nil, registry, cfg, provider, r, rec)
+}
+
+// EvaluateWithAdversaries is Evaluate with an additional cohort of
+// Byzantine adversaries (internal/dynamics): unlike the per-environment
+// CSN, the byz players take a seat in every tournament of every
+// environment, shrinking the normal seats to T − Si − len(byz). With an
+// empty cohort it is Evaluate, bit for bit.
+func EvaluateWithAdversaries(normals, csn, byz []*game.Player, registry []*game.Player, cfg *EvalConfig, provider PathProvider, r *rng.Source, rec Recorder) error {
 	if err := cfg.Validate(len(normals)); err != nil {
 		return err
 	}
 	if cfg.MaxCSN() > len(csn) {
 		return fmt.Errorf("tournament: need %d CSN, pool has %d", cfg.MaxCSN(), len(csn))
+	}
+	if len(byz) > 0 {
+		if seats := cfg.TournamentSize - cfg.MaxCSN() - len(byz); seats < 1 {
+			return fmt.Errorf("tournament: %d adversaries plus %d CSN leave %d normal seats of %d",
+				len(byz), cfg.MaxCSN(), seats, cfg.TournamentSize)
+		}
 	}
 
 	// Step 1: clear all memories and accounts. Dense stores keep their
@@ -83,6 +98,10 @@ func Evaluate(normals, csn []*game.Player, registry []*game.Player, cfg *EvalCon
 		p.ResetForGeneration()
 	}
 	for _, p := range csn {
+		p.Rep.EnsureSize(len(registry))
+		p.ResetForGeneration()
+	}
+	for _, p := range byz {
 		p.Rep.EnsureSize(len(registry))
 		p.ResetForGeneration()
 	}
@@ -98,7 +117,7 @@ func Evaluate(normals, csn []*game.Player, registry []*game.Player, cfg *EvalCon
 		if rec != nil {
 			rec.BeginEnvironment(envIdx, env)
 		}
-		pi := cfg.TournamentSize - env.CSN
+		pi := cfg.TournamentSize - env.CSN - len(byz)
 		for i := range plays {
 			plays[i] = 0
 		}
@@ -154,6 +173,7 @@ func Evaluate(normals, csn []*game.Player, registry []*game.Player, cfg *EvalCon
 				}
 			}
 			participants = append(participants, csn[:env.CSN]...)
+			participants = append(participants, byz...)
 			PlayWith(participants, registry, &cfg.Tournament, provider, r, rec, &sc)
 		}
 	}

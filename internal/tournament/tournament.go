@@ -55,11 +55,28 @@ type Config struct {
 	// Gossip enables CORE-style second-hand reputation exchange (an
 	// extension beyond the paper's first-hand-only mechanism; see
 	// trust.MergePositive): every GossipInterval rounds each normal
-	// player imports one random normal peer's positive observations at
-	// GossipWeight credibility. GossipInterval 0 disables it.
+	// player imports one random peer's positive observations at
+	// GossipWeight credibility. Byzantine gossip liars join the peer pool
+	// and inject inverted observations (trust.MergeInverted); only normal
+	// players receive. GossipInterval 0 disables it.
 	GossipInterval int
 	GossipWeight   float64
 	GossipMinRate  float64
+
+	// RoundDriver, when non-nil, is notified before every tournament
+	// round with the full participant set — the perturbation hook the
+	// dynamics layer uses to advance round-scheduled adversaries (on-off
+	// attackers swap strategies here). It must not consume the
+	// tournament's RNG stream: a nil driver and a driver that only swaps
+	// strategies replay the identical random sequence.
+	RoundDriver RoundDriver
+}
+
+// RoundDriver is the perturbation hook called at the start of every
+// tournament round; internal/dynamics implements it to schedule
+// round-granular adversarial behavior.
+type RoundDriver interface {
+	BeginRound(round int, participants []*game.Player)
 }
 
 // Validate checks the tournament configuration.
@@ -128,6 +145,9 @@ func PlayWith(participants []*game.Player, registry []*game.Player, cfg *Config,
 	sc.ids = ids
 	ro, _ := rec.(RoundObserver)
 	for round := 0; round < cfg.Rounds; round++ {
+		if cfg.RoundDriver != nil {
+			cfg.RoundDriver.BeginRound(round, participants)
+		}
 		for _, src := range participants {
 			// Step 2: random destination and intermediates (provider);
 			// Step 3: rate each candidate and pick the best reputation
@@ -174,25 +194,38 @@ type RoundObserver interface {
 }
 
 // gossip performs one round of second-hand reputation exchange: each
-// normal player merges the positive observations of one uniformly chosen
-// other normal player. CSN neither share nor receive — they do not
-// participate in the protocol any more than they forward packets.
+// normal player merges the observations of one uniformly chosen other
+// peer. The peer pool is the normal players plus any Byzantine gossip
+// liars among the participants — liars share (inverted) data but never
+// receive, and CSN neither share nor receive. With no liars present the
+// pool is exactly the normal players, so the random draws replay the
+// pre-adversary sequence bit for bit.
 func gossip(participants []*game.Player, cfg *Config, r *rng.Source, sc *Scratch) {
-	normals := sc.normals[:0]
+	pool := sc.normals[:0]
 	for _, p := range participants {
 		if p.Type == game.Normal {
-			normals = append(normals, p)
+			pool = append(pool, p)
 		}
 	}
-	sc.normals = normals
-	if len(normals) < 2 {
+	receivers := len(pool)
+	for _, p := range participants {
+		if p.Adv == game.AdvLiar {
+			pool = append(pool, p)
+		}
+	}
+	sc.normals = pool
+	if receivers == 0 || len(pool) < 2 {
 		return
 	}
-	for _, p := range normals {
-		peer := normals[r.Intn(len(normals))]
+	for _, p := range pool[:receivers] {
+		peer := pool[r.Intn(len(pool))]
 		for peer == p {
-			peer = normals[r.Intn(len(normals))]
+			peer = pool[r.Intn(len(pool))]
 		}
-		p.Rep.MergePositive(p.ID, peer.Rep, cfg.GossipMinRate, cfg.GossipWeight)
+		if peer.Adv == game.AdvLiar {
+			p.Rep.MergeInverted(p.ID, peer.Rep, cfg.GossipMinRate, cfg.GossipWeight)
+		} else {
+			p.Rep.MergePositive(p.ID, peer.Rep, cfg.GossipMinRate, cfg.GossipWeight)
+		}
 	}
 }

@@ -30,6 +30,22 @@ import (
 // Callers model credibility by keeping weight well below 1, matching the
 // "more relevance is given to ... own experience" design of CORE.
 func (s *Store) MergePositive(self network.NodeID, src *Store, minRate, weight float64) {
+	s.merge(self, src, minRate, weight, false)
+}
+
+// MergeInverted is the gossip-liar variant of MergePositive (see
+// internal/dynamics): the receiver imports src's observations with the
+// forwarding counters inverted, as a Byzantine liar would report them —
+// every observed drop becomes a claimed forward and vice versa. The
+// receiver's minRate filter still applies, but to the lied rate, so a
+// liar's "positive" reports about heavy droppers pass the CORE-style
+// positive-only filter while its slander of reliable forwarders is
+// discarded. Deterministic and allocation-identical to MergePositive.
+func (s *Store) MergeInverted(self network.NodeID, src *Store, minRate, weight float64) {
+	s.merge(self, src, minRate, weight, true)
+}
+
+func (s *Store) merge(self network.NodeID, src *Store, minRate, weight float64, invert bool) {
 	if weight <= 0 {
 		return
 	}
@@ -38,16 +54,20 @@ func (s *Store) MergePositive(self network.NodeID, src *Store, minRate, weight f
 		if network.NodeID(id) == self || rec.requests == 0 {
 			continue
 		}
+		forwards := rec.forwards
+		if invert {
+			forwards = rec.requests - rec.forwards
+		}
 		// Rate from the counters, not the cached view — the cache may be
 		// pending a flush.
-		if float64(rec.forwards)/float64(rec.requests) < minRate {
+		if float64(forwards)/float64(rec.requests) < minRate {
 			continue
 		}
 		addReq := uint64(math.Round(float64(rec.requests) * weight))
 		if addReq == 0 {
 			addReq = 1
 		}
-		addFwd := uint64(math.Round(float64(rec.forwards) * weight))
+		addFwd := uint64(math.Round(float64(forwards) * weight))
 		if addFwd > addReq {
 			addFwd = addReq
 		}

@@ -235,6 +235,30 @@ func (s *Store) flushRecord(r *record, id int) {
 	r.dirty = false
 }
 
+// Forget erases everything the store knows about one node, in place: the
+// counters are zeroed, the cached rate returns to network.UnknownRate, and
+// the known count and activity mean drop the node's contribution. It is
+// the identity-remap primitive of the dynamics layer (internal/dynamics):
+// when churn recycles a NodeID for a fresh node, every store that might
+// still hold the departed node's reputation forgets the ID without
+// reallocating or disturbing any other record. Forgetting an ID the store
+// never saw (including IDs beyond its size) is a no-op.
+func (s *Store) Forget(id network.NodeID) {
+	if int(id) >= len(s.rec) {
+		return
+	}
+	r := &s.rec[id]
+	if r.requests == 0 {
+		return
+	}
+	s.known--
+	s.forwardsSum -= r.forwards
+	// A stale entry for id may remain in dirtyIDs; PathRates skips it
+	// because the dirty bit is cleared here.
+	*r = record{}
+	s.rates[id] = network.UnknownRate
+}
+
 // Known reports whether the store has any data about the node.
 func (s *Store) Known(id network.NodeID) bool {
 	return int(id) < len(s.rec) && s.rec[id].requests > 0
