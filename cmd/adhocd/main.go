@@ -1,0 +1,115 @@
+// Command adhocd serves the evolutionary-experiment job API over HTTP: a
+// long-lived Session with a bounded execution pool, fronted by the
+// internal/service layer. Clients POST the same declarative scenario-spec
+// JSON the CLIs' -scenario flag accepts, poll job status, and stream
+// per-generation events as NDJSON or SSE while the GA runs.
+//
+// Usage:
+//
+//	adhocd                                  # listen on :8547, pool = all cores
+//	adhocd -addr 127.0.0.1:9000 -pool 8 -max-jobs 4 -scale smoke
+//
+// Submit, watch, and cancel with curl:
+//
+//	curl -s localhost:8547/v1/jobs -d '{"scenarios": {"name": "demo",
+//	      "environments": [{"csn": 10}], "seed": 1}, "scale": "smoke"}'
+//	curl -s localhost:8547/v1/jobs/job-1
+//	curl -N localhost:8547/v1/jobs/job-1/events
+//	curl -s -X DELETE localhost:8547/v1/jobs/job-1
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: the listener drains,
+// every running job is cancelled at its next generation barrier, and the
+// process exits once all jobs have stopped.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"adhocga"
+	"adhocga/internal/experiment"
+	"adhocga/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole daemon behind a testable seam: flags from args, output
+// to explicit writers, lifetime bound to ctx. It blocks until ctx is
+// cancelled (or the listener fails), then shuts down gracefully.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("adhocd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", ":8547", "listen address (host:port; port 0 picks a free one)")
+		pool      = fs.Int("pool", 0, "execution pool slots shared by all jobs (0 = all cores)")
+		maxJobs   = fs.Int("max-jobs", 4, "jobs running concurrently; further submissions queue (0 = unbounded)")
+		retain    = fs.Int("retain", 256, "finished jobs kept queryable; older ones are evicted (0 = keep all)")
+		scaleName = fs.String("scale", "default", "default scale for submissions that pin none: smoke, default, or paper")
+		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight HTTP requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	sc, err := experiment.ScaleByName(*scaleName)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *maxJobs < 0 {
+		fmt.Fprintln(stderr, "adhocd: -max-jobs must be >= 0")
+		return 2
+	}
+
+	session := adhocga.NewSession(
+		adhocga.WithPoolSize(*pool),
+		adhocga.WithMaxConcurrentJobs(*maxJobs),
+		adhocga.WithDefaultScale(sc),
+		adhocga.WithJobRetention(*retain),
+	)
+	defer session.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	server := &http.Server{Handler: service.New(session, service.Options{DefaultScale: sc})}
+	fmt.Fprintf(stdout, "adhocd listening on %s (pool %d, max jobs %d, scale %s)\n",
+		ln.Addr(), session.PoolSize(), *maxJobs, sc.Name)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "adhocd: shutting down — draining requests, cancelling jobs at their next generation barrier")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(stderr, err)
+	}
+	session.Close() // cancels and waits for every job
+	fmt.Fprintln(stdout, "adhocd: stopped")
+	return 0
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read the daemon's stdout while run() is still
+// writing it from its own goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestDaemonEndToEnd boots adhocd on a free port, submits a smoke job over
+// real HTTP, streams its events, and shuts the daemon down via context
+// cancellation (the SIGINT path).
+func TestDaemonEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var stdout, stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-scale", "smoke", "-max-jobs", "2"}, &stdout, &stderr)
+	}()
+
+	// Wait for the listen line and extract the bound address.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stdout %q stderr %q", stdout.String(), stderr.String())
+		}
+		out := stdout.String()
+		if i := strings.Index(out, "listening on "); i >= 0 {
+			rest := out[i+len("listening on "):]
+			addr = strings.Fields(rest)[0]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	spec := `{"scenarios": {"name": "d", "environments": [{"csn": 0}], "population": 20,
+	          "tournament_size": 10, "generations": 2, "rounds": 10, "repetitions": 1, "seed": 3},
+	          "parallelism": 1}`
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var info struct {
+		ID        string `json:"id"`
+		EventsURL string `json:"events_url"`
+	}
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stream follows the job live and ends after the done event.
+	resp, err = http.Get(base + info.EventsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(stream), `"kind":"done"`) {
+		t.Errorf("stream missing done event:\n%s", stream)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("daemon exited %d; stderr %q", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if out := stdout.String(); !strings.Contains(out, "stopped") {
+		t.Errorf("shutdown message missing:\n%s", out)
+	}
+}
+
+func TestDaemonFlagValidation(t *testing.T) {
+	ctx := context.Background()
+	var stdout, stderr syncBuffer
+	if code := run(ctx, []string{"-scale", "galactic"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad scale: exit %d", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown scale") {
+		t.Errorf("stderr %q", stderr.String())
+	}
+	stderr = syncBuffer{}
+	if code := run(ctx, []string{"-max-jobs", "-1"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad max-jobs: exit %d", code)
+	}
+	stderr = syncBuffer{}
+	if code := run(ctx, []string{"-addr", "256.0.0.1:bad"}, &stdout, &stderr); code != 1 {
+		t.Errorf("bad addr: exit %d", code)
+	}
+	stderr = syncBuffer{}
+	if code := run(ctx, []string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Errorf("-h: exit %d", code)
+	}
+}
+
+// TestDaemonHelpListsEndpoints keeps the usage text honest about the API.
+func TestDaemonHelpListsEndpoints(t *testing.T) {
+	var stdout, stderr syncBuffer
+	run(context.Background(), []string{"-h"}, &stdout, &stderr)
+	for _, flagName := range []string{"-addr", "-pool", "-max-jobs", "-scale"} {
+		if !strings.Contains(stderr.String(), strings.TrimPrefix(flagName, "-")) {
+			t.Errorf("help missing %s", flagName)
+		}
+	}
+}

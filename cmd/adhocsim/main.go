@@ -12,15 +12,23 @@
 // With -scenario, the tournament's rounds, path mode, and CSN count
 // default to the scenario's values (its first environment); explicit
 // flags still win. The argument must resolve to exactly one scenario.
+//
+// The tournament runs as a mix job on a Session (package adhocga), the
+// same API adhocd serves; SIGINT before the tournament starts aborts
+// cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
+	"adhocga"
 	"adhocga/internal/baselines"
 	"adhocga/internal/energy"
 	"adhocga/internal/game"
@@ -95,7 +103,11 @@ func main() {
 		}
 		cfg.Recorder = meter
 	}
-	res, err := baselines.RunMix(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	session := adhocga.NewSession(adhocga.WithPoolSize(1))
+	defer session.Close()
+	res, err := session.RunMix(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -26,21 +26,29 @@
 // parallelism level; -islands 1 and all-zero dynamics are bit-identical to
 // the static serial engine.
 //
-// A scenario batch runs over one shared worker pool: workers cross
-// scenario boundaries, so all cores stay busy even when each scenario has
-// fewer replications than cores. At paper scale use -generations 500
-// -rounds 300 -reps 60 (slow).
+// A scenario batch runs as one job on a Session (the package adhocga
+// Session/Job API): every (scenario × replicate) pair is a work unit on
+// the session's shared pool, so all cores stay busy even when each
+// scenario has fewer replications than cores. SIGINT/SIGTERM cancel the
+// job cooperatively: every replicate stops at its next generation barrier
+// and the partial cooperation series streamed so far is printed with an
+// "interrupted at generation N" marker instead of dying mid-write. At
+// paper scale use -generations 500 -rounds 300 -reps 60 (slow).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
+	"adhocga"
 	"adhocga/internal/experiment"
 	"adhocga/internal/report"
 	"adhocga/internal/scenario"
@@ -52,13 +60,21 @@ func main() {
 	// All work happens in run so that deferred cleanup — stopping the CPU
 	// profile, writing the heap profile — executes before the process
 	// exits; os.Exit here would skip defers and truncate profiles.
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
+
+// interruptedExit is the exit code of a SIGINT-cancelled run (128+SIGINT,
+// the shell convention), after the partial series has been emitted.
+const interruptedExit = 130
 
 // run is the whole CLI behind a testable seam: flags are parsed from args
 // into a private FlagSet and every byte of output goes to the given
 // writers, so the smoke tests can replay an invocation and byte-compare.
-func run(args []string, stdout, stderr io.Writer) int {
+// Cancelling ctx (SIGINT/SIGTERM in main) stops the running job at its
+// next generation barrier.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("evolve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -167,15 +183,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	sc := experiment.Scale{Name: "custom", Generations: *generations, Rounds: *rounds, Repetitions: *reps}
-	opts := experiment.Options{Parallelism: *par}
-	if !*quiet {
-		opts.OnReplicate = func(done, total int) {
-			fmt.Fprintf(stderr, "\rreplication %d/%d done", done, total)
-			if done == total {
-				fmt.Fprintln(stderr)
-			}
-		}
-	}
+
+	// One Session per invocation: its shared pool carries every replicate,
+	// and SIGINT cancels the submitted job at the next generation barrier.
+	session := adhocga.NewSession(adhocga.WithPoolSize(*par))
+	defer session.Close()
 
 	// Explicitly-set scale flags win over scenario pins (matching
 	// adhocsim's -scenario precedence); unset flags only provide
@@ -260,6 +272,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		set["free-riders"] || set["liars"] || set["onoff"] || set["gossip"]
 
 	var results []*experiment.CaseResult
+	var code int
 	if *scenarioArg != "" {
 		specs, err := scenario.FromArg(*scenarioArg)
 		if err != nil {
@@ -271,21 +284,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		runs := make([]experiment.ScenarioRun, len(specs))
+		names := make([]string, len(specs))
 		for i, s := range specs {
 			if err := applyOverrides(&s); err != nil {
 				fmt.Fprintln(stderr, err)
 				return 2
 			}
 			runs[i] = experiment.ScenarioRun{Spec: s}
+			names[i] = s.Name
 		}
-		// RunScenarios derives a distinct fallback stream per scenario
-		// from the batch seed; a spec's pinned seed still wins.
-		opts.Seed = *seed
-		results, err = experiment.RunScenarios(runs, sc, opts)
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 1
-		}
+		// The scenarios job derives a distinct fallback stream per
+		// scenario from the batch seed; a spec's pinned seed still wins.
+		results, code = runJob(ctx, session, adhocga.ScenariosSpec{
+			Runs: runs, Defaults: sc,
+			Opts: experiment.Options{Seed: *seed, Parallelism: *par},
+		}, names, *quiet, stdout, stderr)
 	} else if specFlags {
 		// The island/population/dynamics flags need the case in its
 		// declarative form; the Table 4 registry specs resolve to exactly
@@ -305,31 +318,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-		opts.Seed = *seed
 		// Pinning the run seed keeps the replicate streams identical to
 		// the equivalent -case invocation without island flags for any
 		// nonzero -seed (0 is the "derive" sentinel throughout the
 		// scenario layer, so a zero seed runs on a derived stream here).
-		res, err := experiment.RunScenarios(
-			[]experiment.ScenarioRun{{Spec: spec, Seed: *seed}}, sc, opts)
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 1
-		}
-		results = res
+		results, code = runJob(ctx, session, adhocga.ScenariosSpec{
+			Runs: []experiment.ScenarioRun{{Spec: spec, Seed: *seed}}, Defaults: sc,
+			Opts: experiment.Options{Seed: *seed, Parallelism: *par},
+		}, []string{spec.Name}, *quiet, stdout, stderr)
 	} else {
 		c, err := experiment.CaseByID(*caseID)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-		opts.Seed = *seed
-		res, err := experiment.RunCase(c, sc, opts)
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 1
-		}
-		results = []*experiment.CaseResult{res}
+		results, code = runJob(ctx, session, adhocga.CaseSpec{
+			Case: c, Scale: sc,
+			Opts: experiment.Options{Seed: *seed, Parallelism: *par},
+		}, []string{c.Name}, *quiet, stdout, stderr)
+	}
+	if code >= 0 {
+		return code
 	}
 
 	for i, res := range results {
@@ -354,6 +363,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "final census written to %s\n", *savePath)
 	}
 	return 0
+}
+
+// runJob submits one job to the session and consumes its event stream:
+// replicate completions become the progress line on stderr, generation
+// events fold into a partial-series accumulator. The returned exit code is
+// -1 on success (results valid), interruptedExit after a cooperative
+// cancellation (the partial cooperation series has been printed with its
+// interruption marker), and 1 on failure.
+func runJob(ctx context.Context, session *adhocga.Session, spec adhocga.JobSpec, names []string, quiet bool, stdout, stderr io.Writer) ([]*experiment.CaseResult, int) {
+	job, err := session.Submit(ctx, spec)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return nil, 1
+	}
+	var partial adhocga.PartialSeries
+	for e := range job.Events() {
+		switch e.Kind {
+		case adhocga.KindReplicate:
+			if !quiet {
+				fmt.Fprintf(stderr, "\rreplication %d/%d done", e.Replicate.Done, e.Replicate.Total)
+				if e.Replicate.Done == e.Replicate.Total {
+					fmt.Fprintln(stderr)
+				}
+			}
+		default:
+			partial.Add(e)
+		}
+	}
+	// The event stream is closed, so the job is terminal: Wait only
+	// collects its error.
+	if err := job.Wait(context.Background()); err != nil {
+		if job.State() == adhocga.JobCancelled {
+			if !quiet {
+				fmt.Fprintln(stderr)
+			}
+			adhocga.RenderInterrupted(stdout, &partial, names)
+			return nil, interruptedExit
+		}
+		fmt.Fprintln(stderr, err)
+		return nil, 1
+	}
+	switch res := job.Result().(type) {
+	case []*experiment.CaseResult:
+		return res, -1
+	case *experiment.CaseResult:
+		return []*experiment.CaseResult{res}, -1
+	default:
+		fmt.Fprintf(stderr, "evolve: unexpected job result %T\n", res)
+		return nil, 1
+	}
 }
 
 func printResult(w io.Writer, res *experiment.CaseResult) {

@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
+	"time"
 )
 
 // End-to-end smoke tests: run the binary's whole main path (flag parsing,
@@ -13,7 +15,7 @@ import (
 func runCLI(t *testing.T, args ...string) (int, string, string) {
 	t.Helper()
 	var stdout, stderr bytes.Buffer
-	code := run(args, &stdout, &stderr)
+	code := run(context.Background(), args, &stdout, &stderr)
 	return code, stdout.String(), stderr.String()
 }
 
@@ -127,6 +129,25 @@ func TestLiarsWithoutGossipRejected(t *testing.T) {
 	}
 	if !strings.Contains(errOut, "gossip liars but gossip is disabled") {
 		t.Errorf("stderr %q missing the liar/gossip explanation", errOut)
+	}
+}
+
+// TestInterruptEmitsPartialSeries pins the SIGINT behavior: a cancelled
+// run exits 130 with the partial cooperation series and a clear
+// "interrupted at generation N" marker instead of dying mid-write.
+func TestInterruptEmitsPartialSeries(t *testing.T) {
+	// Cancel shortly after the run starts; the job stops at its next
+	// generation barrier long before the million-generation budget.
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	var stdout, stderr bytes.Buffer
+	code := run(ctx, []string{"-case", "1", "-generations", "1000000", "-rounds", "10",
+		"-reps", "1", "-seed", "6", "-q"}, &stdout, &stderr)
+	if code != interruptedExit {
+		t.Fatalf("exit %d, want %d (stderr: %s)", code, interruptedExit, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "interrupted") {
+		t.Errorf("stdout missing the interruption marker:\n%s", stdout.String())
 	}
 }
 

@@ -21,27 +21,43 @@
 //
 // -generations/-rounds/-reps, when set, override the scale preset — handy
 // for quick spot checks and used by the CLI smoke tests.
+//
+// Every batch runs as one job on a Session (package adhocga), so
+// SIGINT/SIGTERM interrupt gracefully: replicates stop at their next
+// generation barrier and the partial cooperation series collected so far
+// is printed with an "interrupted at generation N" marker (exit 130)
+// instead of dying mid-write.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"adhocga"
 	"adhocga/internal/experiment"
 	"adhocga/internal/report"
 	"adhocga/internal/scenario"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
+
+// interruptedExit is the exit code of a SIGINT-cancelled run (128+SIGINT).
+const interruptedExit = 130
 
 // run is the whole CLI behind a testable seam (own FlagSet, explicit
 // writers) so smoke tests can replay invocations and byte-compare output.
-func run(args []string, stdout, stderr io.Writer) int {
+// Cancelling ctx stops the running batch at its next generation barrier.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -115,14 +131,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return t.Render()
 	}
-	opts := experiment.Options{Seed: *seed, Parallelism: *par}
-	if !*quiet {
-		opts.OnReplicate = func(done, total int) {
-			fmt.Fprintf(stderr, "\r%d/%d replications", done, total)
-			if done == total {
-				fmt.Fprintln(stderr)
+
+	// One Session per invocation: each artifact batch is a job on its
+	// shared pool, interruptible at generation barriers.
+	session := adhocga.NewSession(adhocga.WithPoolSize(*par))
+	defer session.Close()
+
+	// runBatch submits one scenario batch as a job and consumes its event
+	// stream: replicate completions drive the progress line, generation
+	// events feed the partial view printed if the run is interrupted. The
+	// int is an exit code, or -1 to continue.
+	runBatch := func(runs []experiment.ScenarioRun, names []string) ([]*experiment.CaseResult, int) {
+		job, err := session.Submit(ctx, adhocga.ScenariosSpec{
+			Runs: runs, Defaults: sc,
+			Opts: experiment.Options{Seed: *seed, Parallelism: *par},
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return nil, 1
+		}
+		var partial adhocga.PartialSeries
+		for e := range job.Events() {
+			switch e.Kind {
+			case adhocga.KindReplicate:
+				if !*quiet {
+					fmt.Fprintf(stderr, "\r%d/%d replications", e.Replicate.Done, e.Replicate.Total)
+					if e.Replicate.Done == e.Replicate.Total {
+						fmt.Fprintln(stderr)
+					}
+				}
+			default:
+				partial.Add(e)
 			}
 		}
+		if err := job.Wait(context.Background()); err != nil {
+			if job.State() == adhocga.JobCancelled {
+				if !*quiet {
+					fmt.Fprintln(stderr)
+				}
+				adhocga.RenderInterrupted(stdout, &partial, names)
+				return nil, interruptedExit
+			}
+			fmt.Fprintln(stderr, err)
+			return nil, 1
+		}
+		results, _ := job.Result().([]*experiment.CaseResult)
+		return results, -1
 	}
 
 	// One batch over a single shared worker pool. Per-case seeds match
@@ -148,10 +202,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 					r.Spec.Name, sc.Name, sc.Generations, sc.Repetitions)
 			}
 		}
-		resList, err := experiment.RunScenarios(runs, sc, opts)
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 1
+		names := make([]string, len(runs))
+		for i, r := range runs {
+			names[i] = r.Spec.Name
+		}
+		resList, code := runBatch(runs, names)
+		if code >= 0 {
+			return code
 		}
 		results := map[int]*experiment.CaseResult{}
 		for i, res := range resList {
@@ -209,19 +266,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return nil, 1
 		}
 		var runs []experiment.ScenarioRun
+		var names []string
 		for _, spec := range fam.Specs() {
 			runs = append(runs, experiment.ScenarioRun{Spec: spec})
+			names = append(names, spec.Name)
 		}
-		results, err := experiment.RunScenarios(runs, sc, opts)
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return nil, 1
-		}
-		return results, 0
+		return runBatch(runs, names)
 	}
 	if wantChurn {
 		results, code := runFamily("churn-sweep")
-		if code != 0 {
+		if code >= 0 {
 			return code
 		}
 		fmt.Fprintln(stdout, render(experiment.ChurnSweepTable(results)))
@@ -233,7 +287,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if wantAdv {
 		results, code := runFamily("adversary-grid")
-		if code != 0 {
+		if code >= 0 {
 			return code
 		}
 		fmt.Fprintln(stdout, render(experiment.AdversaryTable(results)))

@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
+	"time"
 )
 
 // End-to-end smoke tests for the experiments harness: each artifact path
@@ -13,7 +15,7 @@ import (
 func runCLI(t *testing.T, args ...string) (int, string, string) {
 	t.Helper()
 	var stdout, stderr bytes.Buffer
-	code := run(args, &stdout, &stderr)
+	code := run(context.Background(), args, &stdout, &stderr)
 	return code, stdout.String(), stderr.String()
 }
 
@@ -113,5 +115,21 @@ func TestBadFlagsRejected(t *testing.T) {
 		if !strings.Contains(errOut, tc.frag) {
 			t.Errorf("args %v: stderr %q missing %q", tc.args, errOut, tc.frag)
 		}
+	}
+}
+
+// TestInterruptEmitsPartialSeries pins the SIGINT behavior: a cancelled
+// batch exits 130 with the interruption marker instead of dying mid-write.
+func TestInterruptEmitsPartialSeries(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	var stdout, stderr bytes.Buffer
+	code := run(ctx, []string{"-only", "fig4", "-generations", "1000000", "-rounds", "10",
+		"-reps", "1", "-seed", "8", "-q"}, &stdout, &stderr)
+	if code != interruptedExit {
+		t.Fatalf("exit %d, want %d (stderr: %s)", code, interruptedExit, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "interrupted") {
+		t.Errorf("stdout missing the interruption marker:\n%s", stdout.String())
 	}
 }

@@ -8,28 +8,44 @@
 // whether to forward or discard each packet. Strategies are evolved by a
 // genetic algorithm inside a game-theoretic network model.
 //
-// The package exposes five workflows:
+// The front door is the Session/Job API. A Session (NewSession, with
+// functional options for pool size, default scale, seed policy, and a
+// concurrent-job bound) owns one shared execution pool for its lifetime;
+// every long-running workload is a typed JobSpec submitted with
+// Submit(ctx, spec), returning a Job handle that streams a unified Event
+// sequence (Events), waits (Wait), and cancels cooperatively at
+// generation barriers (Cancel) — so uncancelled runs stay bit-identical
+// to the direct engines, and millions of users' worth of jobs can
+// multiplex one process without oversubscribing it. cmd/adhocd serves
+// exactly this API over HTTP (internal/service).
 //
-//   - Evolve runs one evolutionary experiment and returns the cooperation
-//     trajectory and the final strategy population;
-//   - EvolveIslands runs the same experiment on an island-model engine:
-//     the population is sharded into subpopulations evolved concurrently,
-//     with periodic migration of elite genomes over a pluggable topology
-//     (ring, fully-connected, random-pairs) — deterministic for a fixed
-//     seed at any parallelism level, and bit-identical to Evolve with one
-//     island;
-//   - RunCase reproduces one of the paper's four evaluation cases over
-//     repeated replications at a chosen scale;
-//   - RunScenarios runs any batch of declarative, JSON-serializable
-//     ScenarioSpecs — user-authored or from the built-in registry
-//     (ScenarioFamilies: table4, csn-grid, tournament-size, mixed-env,
-//     table4-islands, island-topology-sweep) — over one shared worker
-//     pool that flattens every (scenario × replicate) pair into a single
-//     queue, with bit-identical results at any parallelism level; a
-//     spec's optional "islands" block routes it through the island-model
-//     engine;
-//   - RunMix plays fixed (non-evolved) behavior mixes through the same
-//     network model for baseline comparisons.
+// The workload kinds (each a JobSpec, each with a Session convenience
+// method and a deprecated package-level wrapper over DefaultSession):
+//
+//   - EvolveSpec / Session.Evolve runs one evolutionary experiment and
+//     returns the cooperation trajectory and final strategy population;
+//   - IslandsSpec / Session.EvolveIslands runs it on the island-model
+//     engine: the population sharded into subpopulations evolved
+//     concurrently, with periodic elite migration over a pluggable
+//     topology (ring, fully-connected, random-pairs) — deterministic for
+//     a fixed seed at any parallelism level, bit-identical to Evolve
+//     with one island;
+//   - CaseSpec / Session.RunCase reproduces one of the paper's four
+//     evaluation cases over repeated replications at a chosen scale;
+//   - ScenariosSpec / Session.RunScenarios runs any batch of
+//     declarative, JSON-serializable ScenarioSpecs — user-authored or
+//     from the built-in registry (ScenarioFamilies: table4, csn-grid,
+//     tournament-size, mixed-env, table4-islands, island-topology-sweep,
+//     churn-sweep, adversary-grid) — every (scenario × replicate) pair
+//     one work unit on the session pool, bit-identical at any
+//     parallelism level; a spec's "islands" block routes it through the
+//     island-model engine;
+//   - SweepSpec / Session.CSNSweep traces evolved cooperation against
+//     the selfish-node count;
+//   - MixSpec / Session.RunMix plays fixed (non-evolved) behavior mixes
+//     through the same network model for baseline comparisons;
+//   - IPDRPSpec / Session.RunIPDRP evolves the IPDRP substrate the
+//     paper's game generalizes.
 //
 // The simulation core is dense and allocation-free in steady state:
 // NodeIDs are dense integers (enforced by tournament.BuildRegistry), so
@@ -43,8 +59,8 @@
 //
 // Implementation lives in internal/ packages (rng, bitstring, strategy,
 // trust, network, game, tournament, ga, island, metrics, scenario,
-// runner, experiment, baselines, ipdrp); this package re-exports the
-// surface a downstream user needs. See README.md for the scenario API and
+// runner, experiment, baselines, ipdrp, service); this package
+// re-exports the surface a downstream user needs. See README.md for the scenario API and
 // CLI flags, ARCHITECTURE.md for the layer diagram and determinism
 // contract, DESIGN.md for the system inventory, and EXPERIMENTS.md for
 // paper-vs-measured results.

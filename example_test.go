@@ -1,6 +1,7 @@
 package adhocga_test
 
 import (
+	"context"
 	"fmt"
 
 	"adhocga"
@@ -57,5 +58,40 @@ func ExampleEvolve() {
 	fmt.Println("final strategies:", len(res.FinalStrategies))
 	// Output:
 	// generations recorded: 3
+	// final strategies: 20
+}
+
+// Submit an evolution as a job on a Session and stream its unified event
+// feed — the context-aware form of ExampleEvolve.
+func ExampleSession_Submit() {
+	session := adhocga.NewSession(adhocga.WithPoolSize(2))
+	defer session.Close()
+
+	cfg := adhocga.DefaultEvolutionConfig(adhocga.PaperEnvironments()[:1], adhocga.ShorterPaths(), 42)
+	cfg.PopulationSize = 20
+	cfg.Eval.TournamentSize = 10
+	cfg.Eval.Tournament.Rounds = 10
+	cfg.Generations = 3
+
+	job, err := session.Submit(context.Background(), adhocga.EvolveSpec{Config: cfg})
+	if err != nil {
+		panic(err)
+	}
+	generations := 0
+	for e := range job.Events() {
+		if e.Kind == adhocga.KindGeneration {
+			generations++
+		}
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		panic(err)
+	}
+	res := job.Result().(*adhocga.EvolutionResult)
+	fmt.Println("job:", job.ID(), "state:", job.State())
+	fmt.Println("generation events:", generations)
+	fmt.Println("final strategies:", len(res.FinalStrategies))
+	// Output:
+	// job: job-1 state: done
+	// generation events: 3
 	// final strategies: 20
 }

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"adhocga/internal/bitstring"
@@ -48,6 +49,13 @@ type Config struct {
 	// OnGeneration, when non-nil, receives each generation's snapshot
 	// right after evaluation (before reproduction).
 	OnGeneration func(GenerationStats)
+
+	// OnChurn, when non-nil, is called after every dynamics barrier that
+	// actually fired (churn and/or landscape rewiring), with the index of
+	// the generation whose reproduction the barrier followed. It is purely
+	// observational — the hook never consumes engine randomness — so
+	// setting it cannot change results.
+	OnChurn func(generation int)
 
 	// Constraint, when non-nil, is applied in place to every genome as it
 	// enters the population (initialization and reproduction). It
@@ -315,6 +323,9 @@ func (e *Engine) Reproduce() error {
 		if e.dyn.Rewire() {
 			e.gen.SetMode(e.dyn.PathMode())
 		}
+		if e.cfg.OnChurn != nil {
+			e.cfg.OnChurn(gen)
+		}
 	}
 	return nil
 }
@@ -347,10 +358,28 @@ func (e *Engine) Config() Config { return e.cfg }
 // Run executes the configured number of generations and returns the run
 // history. It is deterministic for a given Config (including Seed).
 func (e *Engine) Run() (*Result, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation. The context is checked
+// once per generation, at the barrier before evaluation — never inside a
+// generation — so an uncancelled run consumes the RNG stream exactly as
+// Run does and stays bit-identical to it.
+//
+// On cancellation the partial Result recorded so far is returned together
+// with an error wrapping ctx.Err(): the cooperation series covers every
+// completed generation, while the Final* views stay unset (FinalCollector
+// is nil) because the population has already been reproduced past the
+// last evaluated generation. Callers distinguish interruption from
+// failure with errors.Is(err, context.Canceled).
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	res := NewResult(e.cfg.Generations, len(e.cfg.Eval.Environments))
 	collector := metrics.NewCollector()
 
 	for gen := 0; gen < e.cfg.Generations; gen++ {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("core: interrupted before generation %d: %w", gen, err)
+		}
 		if err := e.EvaluateGeneration(collector); err != nil {
 			return nil, fmt.Errorf("core: generation %d: %w", gen, err)
 		}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"adhocga/internal/core"
@@ -89,8 +90,10 @@ func specJob(spec scenario.Spec, defaults Scale, fallbackSeed uint64) (job, erro
 // points. Per-replicate seeds are derived up front, in (job, replicate)
 // order, from each job's own master seed — results are therefore
 // bit-identical at any parallelism level, and identical to running each
-// job alone.
-func runJobs(jobs []job, opts Options) ([]*CaseResult, error) {
+// job alone. Cancellation is cooperative: running replicates stop at their
+// next generation barrier, queued ones never start, and the returned error
+// joins every replicate failure (task-index order) with ctx.Err().
+func runJobs(ctx context.Context, jobs []job, opts Options) ([]*CaseResult, error) {
 	type unit struct {
 		job, rep int
 		seed     uint64
@@ -111,25 +114,33 @@ func runJobs(jobs []job, opts Options) ([]*CaseResult, error) {
 			units = append(units, unit{job: ji, rep: rep, seed: master.Uint64()})
 		}
 	}
-	err := runner.Run(len(units), func(i int) error {
+	task := func(i int) error {
 		u := units[i]
 		j := &jobs[u.job]
 		if j.islands != nil {
 			// Island replicate: the island engine fans its per-generation
-			// evaluation out over its own pool. Workers may briefly
-			// oversubscribe the CPU when many replicates run at once;
-			// that affects wall-clock only — results are deterministic at
-			// any parallelism level.
+			// evaluation out over its own transient workers. Workers may
+			// briefly oversubscribe the CPU when many replicates run at
+			// once; that affects wall-clock only — results are
+			// deterministic at any parallelism level.
 			icfg, err := j.iconfig(u.seed)
 			if err != nil {
 				return err
 			}
 			icfg.Parallelism = opts.Parallelism
+			if opts.OnIslandGeneration != nil {
+				icfg.OnGeneration = func(gs island.GenerationStats) {
+					opts.OnIslandGeneration(u.job, u.rep, gs)
+				}
+			}
+			if opts.OnChurn != nil {
+				icfg.Core.OnChurn = func(gen int) { opts.OnChurn(u.job, u.rep, gen) }
+			}
 			engine, err := island.New(icfg)
 			if err != nil {
 				return err
 			}
-			ires, err := engine.Run()
+			ires, err := engine.RunContext(ctx)
 			if err != nil {
 				return err
 			}
@@ -141,14 +152,32 @@ func runJobs(jobs []job, opts Options) ([]*CaseResult, error) {
 		if err != nil {
 			return err
 		}
+		if opts.OnGeneration != nil {
+			cfg.OnGeneration = func(gs core.GenerationStats) {
+				opts.OnGeneration(u.job, u.rep, gs)
+			}
+		}
+		if opts.OnChurn != nil {
+			cfg.OnChurn = func(gen int) { opts.OnChurn(u.job, u.rep, gen) }
+		}
 		engine, err := core.New(cfg)
 		if err != nil {
 			return err
 		}
-		res, err := engine.Run()
+		res, err := engine.RunContext(ctx)
+		if err != nil {
+			return err
+		}
 		results[u.job][u.rep] = res
-		return err
-	}, runner.Options{Parallelism: opts.Parallelism, OnDone: opts.OnReplicate})
+		return nil
+	}
+	ropts := runner.Options{Parallelism: opts.Parallelism, OnDone: opts.OnReplicate}
+	var err error
+	if opts.Pool != nil {
+		err = opts.Pool.Run(ctx, len(units), task, ropts)
+	} else {
+		err = runner.RunContext(ctx, len(units), task, ropts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -191,6 +220,12 @@ type ScenarioRun struct {
 // replicate streams). Deterministic for fixed seeds regardless of
 // parallelism.
 func RunScenarios(runs []ScenarioRun, defaults Scale, opts Options) ([]*CaseResult, error) {
+	return RunScenariosContext(context.Background(), runs, defaults, opts)
+}
+
+// RunScenariosContext is RunScenarios with cooperative cancellation (see
+// RunCaseContext for the contract).
+func RunScenariosContext(ctx context.Context, runs []ScenarioRun, defaults Scale, opts Options) ([]*CaseResult, error) {
 	// One derived fallback per run, consumed unconditionally so that
 	// pinning one scenario's seed never shifts its neighbors' streams.
 	master := rng.New(opts.Seed)
@@ -206,5 +241,5 @@ func RunScenarios(runs []ScenarioRun, defaults Scale, opts Options) ([]*CaseResu
 		}
 		jobs[i] = j
 	}
-	return runJobs(jobs, opts)
+	return runJobs(ctx, jobs, opts)
 }

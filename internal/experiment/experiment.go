@@ -12,11 +12,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"adhocga/internal/core"
+	"adhocga/internal/island"
 	"adhocga/internal/metrics"
 	"adhocga/internal/network"
+	"adhocga/internal/runner"
 	"adhocga/internal/scenario"
 	"adhocga/internal/stats"
 	"adhocga/internal/strategy"
@@ -155,13 +158,46 @@ type Options struct {
 	// OnReplicate, when non-nil, is called as each replicate finishes
 	// (from multiple goroutines) with the number completed so far.
 	OnReplicate func(done, total int)
+
+	// Pool, when non-nil, runs the batch's replicate units on the given
+	// shared execution capacity instead of transient per-call workers, so
+	// concurrent batches — e.g. several jobs of one Session — stay jointly
+	// bounded by the pool size. Parallelism still caps this batch's share.
+	// Scheduling only; results are identical either way.
+	Pool *runner.Pool
+
+	// The observation hooks below stream per-replicate progress out of a
+	// running batch (the Session/Job event layer is their only intended
+	// consumer). Each may be called concurrently from pool workers; none
+	// consumes engine randomness, so setting them never changes results.
+	// scenario is the index of the scenario/sweep point in the batch, rep
+	// the replicate index within it.
+
+	// OnGeneration receives every serial replicate's per-generation
+	// snapshot right after evaluation.
+	OnGeneration func(scenario, rep int, stats core.GenerationStats)
+	// OnIslandGeneration receives every island-model replicate's
+	// per-generation aggregate and per-island snapshot.
+	OnIslandGeneration func(scenario, rep int, stats island.GenerationStats)
+	// OnChurn fires after each dynamics barrier that perturbed a
+	// replicate, with the generation whose reproduction it followed.
+	OnChurn func(scenario, rep, generation int)
 }
 
 // RunCase runs one evaluation case at the given scale and aggregates the
 // results. Deterministic for a fixed (case, scale, seed) regardless of
 // parallelism, and bit-identical to the pre-runner per-case execution.
 func RunCase(c Case, sc Scale, opts Options) (*CaseResult, error) {
-	out, err := runJobs([]job{caseJob(c, sc, opts.Seed)}, opts)
+	return RunCaseContext(context.Background(), c, sc, opts)
+}
+
+// RunCaseContext is RunCase with cooperative cancellation: replicates stop
+// at their next generation barrier and no new replicate starts once ctx is
+// done. On cancellation it returns a nil result and an error satisfying
+// errors.Is(err, ctx.Err()); stream partial progress through the Options
+// hooks (or the Session event layer) if you need it.
+func RunCaseContext(ctx context.Context, c Case, sc Scale, opts Options) (*CaseResult, error) {
+	out, err := runJobs(ctx, []job{caseJob(c, sc, opts.Seed)}, opts)
 	if err != nil {
 		return nil, err
 	}

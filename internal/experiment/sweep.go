@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"adhocga/internal/network"
@@ -29,6 +30,12 @@ type SweepPoint struct {
 // derived in csnCounts order, so results are bit-identical to running the
 // points one by one.
 func CSNSweep(csnCounts []int, mode network.PathMode, sc Scale, opts Options) ([]SweepPoint, error) {
+	return CSNSweepContext(context.Background(), csnCounts, mode, sc, opts)
+}
+
+// CSNSweepContext is CSNSweep with cooperative cancellation (see
+// RunCaseContext for the contract).
+func CSNSweepContext(ctx context.Context, csnCounts []int, mode network.PathMode, sc Scale, opts Options) ([]SweepPoint, error) {
 	master := rng.New(opts.Seed)
 	jobs := make([]job, 0, len(csnCounts))
 	for _, csn := range csnCounts {
@@ -43,7 +50,7 @@ func CSNSweep(csnCounts []int, mode network.PathMode, sc Scale, opts Options) ([
 		}
 		jobs = append(jobs, caseJob(c, sc, master.Uint64()))
 	}
-	results, err := runJobs(jobs, opts)
+	results, err := runJobs(ctx, jobs, opts)
 	if err != nil {
 		return nil, err
 	}

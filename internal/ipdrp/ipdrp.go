@@ -12,6 +12,7 @@ package ipdrp
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"slices"
 
@@ -208,6 +209,15 @@ type playerState struct {
 // Run evolves a population of IPDRP strategies and returns the cooperation
 // trajectory. Deterministic for a given config.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation, checked once per
+// generation before play — never inside one — so an uncancelled run is
+// bit-identical to Run. On cancellation the partial Result (the
+// cooperation series of every completed generation, no final population)
+// is returned together with an error wrapping ctx.Err().
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -224,6 +234,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	for gen := 0; gen < cfg.Generations; gen++ {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("ipdrp: interrupted before generation %d: %w", gen, err)
+		}
 		for i := range states {
 			states[i] = playerState{strat: New(genomes[i].Genome.Clone())}
 		}

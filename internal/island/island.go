@@ -34,6 +34,7 @@
 package island
 
 import (
+	"context"
 	"fmt"
 
 	"adhocga/internal/core"
@@ -254,6 +255,16 @@ func New(cfg Config) (*Engine, error) {
 // Interval-th barrier, and each island then reproduces with its own
 // stream. Deterministic for a fixed Config at any parallelism level.
 func (e *Engine) Run() (*Result, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation, checked once per
+// generation at the barrier before the islands evaluate — never inside a
+// generation — so an uncancelled run is bit-identical to Run. On
+// cancellation the partial Result (aggregate series and per-island traces
+// for every completed generation; no final views, no champion) is
+// returned together with an error wrapping ctx.Err().
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	n := len(e.islands)
 	gens := e.cfg.Core.Generations
 	res := &Result{
@@ -264,11 +275,14 @@ func (e *Engine) Run() (*Result, error) {
 	islandStats := make([]ga.PopulationStats, n)
 
 	for gen := 0; gen < gens; gen++ {
-		err := runner.Run(n, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("island: interrupted before generation %d: %w", gen, err)
+		}
+		err := runner.RunContext(ctx, n, func(i int) error {
 			return e.islands[i].EvaluateGeneration(e.collectors[i])
 		}, runner.Options{Parallelism: e.cfg.Parallelism})
 		if err != nil {
-			return nil, fmt.Errorf("island: generation %d: %w", gen, err)
+			return res, fmt.Errorf("island: generation %d: %w", gen, err)
 		}
 
 		// Barrier: fold the per-island observables into the run-wide view

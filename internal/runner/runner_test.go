@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -43,19 +44,26 @@ func TestRunBoundsParallelism(t *testing.T) {
 	}
 }
 
-func TestRunReturnsLowestIndexedError(t *testing.T) {
-	wantErr := errors.New("boom 3")
+func TestRunJoinsAllErrorsInIndexOrder(t *testing.T) {
+	err3 := errors.New("boom 3")
+	err7 := errors.New("boom 7")
 	err := Run(10, func(i int) error {
-		if i == 3 {
-			return wantErr
-		}
-		if i == 7 {
-			return errors.New("boom 7")
+		switch i {
+		case 3:
+			return err3
+		case 7:
+			return err7
 		}
 		return nil
 	}, Options{Parallelism: 10})
-	if err != wantErr {
-		t.Errorf("got %v, want the index-3 error", err)
+	if !errors.Is(err, err3) || !errors.Is(err, err7) {
+		t.Fatalf("joined error %v is missing a task error", err)
+	}
+	// The ordering contract: task errors appear in ascending task-index
+	// order regardless of which finished first.
+	msg := err.Error()
+	if i3, i7 := strings.Index(msg, "boom 3"), strings.Index(msg, "boom 7"); i3 < 0 || i7 < 0 || i3 > i7 {
+		t.Errorf("error %q not in task-index order", msg)
 	}
 }
 
@@ -162,8 +170,149 @@ func TestRunNoBarrierBetweenGroups(t *testing.T) {
 	}
 }
 
+func TestRunContextCancellationStopsClaiming(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := RunContext(ctx, 100, func(i int) error {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+		return nil
+	}, Options{Parallelism: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 100 {
+		t.Errorf("all %d tasks ran despite cancellation", got)
+	}
+}
+
+func TestRunContextJoinsTaskErrorsWithCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	taskErr := errors.New("task failed")
+	err := RunContext(ctx, 50, func(i int) error {
+		if i == 0 {
+			cancel()
+			return taskErr
+		}
+		return nil
+	}, Options{Parallelism: 1})
+	if !errors.Is(err, taskErr) || !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want both the task error and context.Canceled", err)
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := RunContext(ctx, 10, func(int) error { ran.Add(1); return nil }, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d tasks ran on a pre-cancelled context", ran.Load())
+	}
+}
+
+func TestPoolBoundsConcurrencyAcrossBatches(t *testing.T) {
+	const slots = 3
+	p := NewPool(slots)
+	if p.Size() != slots {
+		t.Fatalf("pool size %d, want %d", p.Size(), slots)
+	}
+	var active, peak atomic.Int32
+	task := func(int) error {
+		if a := active.Add(1); a > peak.Load() {
+			peak.Store(a)
+		}
+		defer active.Add(-1)
+		return nil
+	}
+	// Two concurrent batches, each asking for more workers than the pool
+	// has slots: the shared bound must still hold.
+	var wg sync.WaitGroup
+	for b := 0; b < 2; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Run(context.Background(), 64, task, Options{Parallelism: 8}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > slots {
+		t.Errorf("observed %d concurrent tasks across batches, pool bound is %d", got, slots)
+	}
+}
+
+func TestPoolRunsEveryTaskAndJoinsErrors(t *testing.T) {
+	p := NewPool(2)
+	const n = 40
+	var ran [n]atomic.Int32
+	wantErr := errors.New("slot 5")
+	err := p.Run(context.Background(), n, func(i int) error {
+		ran[i].Add(1)
+		if i == 5 {
+			return wantErr
+		}
+		return nil
+	}, Options{})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want the task error", err)
+	}
+	for i := range ran {
+		if got := ran[i].Load(); got != 1 {
+			t.Errorf("task %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestPoolCancellation(t *testing.T) {
+	p := NewPool(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := p.Run(ctx, 100, func(i int) error {
+		if ran.Add(1) == 2 {
+			cancel()
+		}
+		return nil
+	}, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 100 {
+		t.Errorf("all tasks ran despite cancellation")
+	}
+}
+
+func TestPoolDefaultSize(t *testing.T) {
+	if NewPool(0).Size() < 1 {
+		t.Error("default pool has no slots")
+	}
+}
+
 func BenchmarkRunOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = Run(256, func(int) error { return nil }, Options{Parallelism: 8})
+	}
+}
+
+// TestRunContextCompletedBatchIgnoresLateCancellation pins the err()
+// contract when no progress callback is installed: a batch whose every
+// task completed must return nil even if the context is cancelled after
+// the last task finished.
+func TestRunContextCompletedBatchIgnoresLateCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := RunContext(ctx, 8, func(i int) error {
+		if ran.Add(1) == 8 {
+			cancel() // fires after the final task's body, before err()
+		}
+		return nil
+	}, Options{Parallelism: 1}) // OnDone deliberately nil
+	if err != nil {
+		t.Fatalf("completed batch reported %v", err)
 	}
 }

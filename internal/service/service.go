@@ -1,0 +1,306 @@
+// Package service is the HTTP face of the Session/Job API — the layer the
+// adhocd daemon (cmd/adhocd) serves. It accepts the repo's declarative
+// scenario-spec JSON (internal/scenario, the same documents the CLIs'
+// -scenario flag loads), runs each submission as a job on one shared
+// Session, and streams the job's unified event stream back as NDJSON or
+// SSE. Jobs sharing the session share its execution pool and its
+// concurrent-job bound, so a burst of submissions queues instead of
+// oversubscribing the machine.
+//
+// # API
+//
+//	POST   /v1/jobs             submit a scenario batch; returns the job handle
+//	GET    /v1/jobs             list all jobs, in submission order
+//	GET    /v1/jobs/{id}        job status (+ per-scenario results when done)
+//	GET    /v1/jobs/{id}/events stream events as NDJSON (or SSE via Accept)
+//	DELETE /v1/jobs/{id}        cancel the job cooperatively
+//	GET    /healthz             liveness
+//
+// The submit body is either bare scenario-spec JSON (one object or an
+// array — exactly what LoadScenarios accepts) or a wrapper object
+// {"scenarios": …, "scale": "smoke", "seed": 1, "parallelism": 2} pinning
+// the run parameters. Event streams are deterministic for a fixed seed at
+// parallelism 1: no timestamps, stable field order, sequential job IDs —
+// the NDJSON golden test byte-compares a whole stream.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"adhocga"
+	"adhocga/internal/experiment"
+	"adhocga/internal/scenario"
+)
+
+// Options tune a Server.
+type Options struct {
+	// DefaultScale is the scale for submissions that do not pin one;
+	// empty Name falls back to the session's default scale.
+	DefaultScale adhocga.Scale
+	// MaxBodyBytes caps the submit body size; ≤0 means 1 MiB.
+	MaxBodyBytes int64
+}
+
+// Server routes the v1 API onto a Session. Create with New; it implements
+// http.Handler. The server does not own the session — closing the session
+// (after draining the server) is the caller's shutdown step.
+type Server struct {
+	session *adhocga.Session
+	opts    Options
+	mux     *http.ServeMux
+}
+
+// New builds a Server over the given session.
+func New(session *adhocga.Session, opts Options) *Server {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 1 << 20
+	}
+	s := &Server{session: session, opts: opts, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SubmitRequest is the wrapper form of the submit body. Scenarios holds
+// scenario-spec JSON exactly as LoadScenarios accepts it (one spec object
+// or an array).
+type SubmitRequest struct {
+	Scenarios   json.RawMessage `json:"scenarios"`
+	Scale       string          `json:"scale,omitempty"`
+	Seed        uint64          `json:"seed,omitempty"`
+	Parallelism int             `json:"parallelism,omitempty"`
+}
+
+// JobInfo is the JSON shape of a job handle in submit/status/list
+// responses.
+type JobInfo struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	State  string `json:"state"`
+	Events int    `json:"events"`
+	Error  string `json:"error,omitempty"`
+	// Results summarizes each scenario's outcome once the job is done.
+	Results []ScenarioResult `json:"results,omitempty"`
+
+	StatusURL string `json:"status_url"`
+	EventsURL string `json:"events_url"`
+}
+
+// ScenarioResult is one scenario's headline numbers in a finished job.
+type ScenarioResult struct {
+	Name          string  `json:"name"`
+	FinalCoopMean float64 `json:"final_coop_mean"`
+	FinalCoopStd  float64 `json:"final_coop_std"`
+	FinalEnvCoop  float64 `json:"final_env_coop_mean"`
+	Generations   int     `json:"generations"`
+	Repetitions   int     `json:"repetitions"`
+}
+
+func (s *Server) info(j *adhocga.Job) JobInfo {
+	info := JobInfo{
+		ID:        j.ID(),
+		Kind:      j.Kind(),
+		State:     string(j.State()),
+		Events:    j.EventCount(),
+		StatusURL: "/v1/jobs/" + j.ID(),
+		EventsURL: "/v1/jobs/" + j.ID() + "/events",
+	}
+	if err := j.Err(); err != nil {
+		info.Error = err.Error()
+	}
+	if results, ok := j.Result().([]*experiment.CaseResult); ok {
+		for _, res := range results {
+			info.Results = append(info.Results, ScenarioResult{
+				Name:          res.Case.Name,
+				FinalCoopMean: res.FinalCoop.Mean,
+				FinalCoopStd:  res.FinalCoop.StdDev,
+				FinalEnvCoop:  res.FinalMeanEnvCoop.Mean,
+				Generations:   res.Scale.Generations,
+				Repetitions:   res.Scale.Repetitions,
+			})
+		}
+	}
+	return info
+}
+
+// handleSubmit accepts scenario-spec JSON and starts a scenarios job. The
+// job's lifetime is bound to the session, not the request: the response
+// returns immediately with the handle.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxBodyBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if int64(len(body)) > s.opts.MaxBodyBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.opts.MaxBodyBytes)
+		return
+	}
+	req, err := parseSubmit(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	specs, err := scenario.Load(bytes.NewReader(req.Scenarios))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "scenarios: %v", err)
+		return
+	}
+	defaults := s.opts.DefaultScale
+	if req.Scale != "" {
+		defaults, err = experiment.ScaleByName(req.Scale)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	// Load has already validated every spec's structure; interaction
+	// errors (tournament size vs population, island divisibility) surface
+	// as a failed job, exactly like a bad batch in the CLIs.
+	runs := make([]experiment.ScenarioRun, len(specs))
+	for i, spec := range specs {
+		runs[i] = experiment.ScenarioRun{Spec: spec}
+	}
+	// The job must outlive this request, so it derives from the
+	// background context; its true lifetime bound is the session (Close
+	// cancels it) and DELETE /v1/jobs/{id}.
+	job, err := s.session.Submit(context.WithoutCancel(r.Context()),
+		adhocga.ScenariosSpec{
+			Runs:     runs,
+			Defaults: defaults,
+			Opts:     experiment.Options{Seed: req.Seed, Parallelism: req.Parallelism},
+		})
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.info(job))
+}
+
+// parseSubmit accepts both body shapes: the wrapper object (detected by a
+// "scenarios" key) and bare scenario-spec JSON.
+func parseSubmit(body []byte) (SubmitRequest, error) {
+	trimmed := bytes.TrimSpace(body)
+	if len(trimmed) == 0 {
+		return SubmitRequest{}, fmt.Errorf("empty body")
+	}
+	if trimmed[0] == '{' {
+		var probe map[string]json.RawMessage
+		if err := json.Unmarshal(trimmed, &probe); err != nil {
+			return SubmitRequest{}, fmt.Errorf("body: %w", err)
+		}
+		if _, ok := probe["scenarios"]; ok {
+			var req SubmitRequest
+			if err := json.Unmarshal(trimmed, &req); err != nil {
+				return SubmitRequest{}, fmt.Errorf("body: %w", err)
+			}
+			if s := bytes.TrimSpace(req.Scenarios); len(s) == 0 || bytes.Equal(s, []byte("null")) {
+				return SubmitRequest{}, fmt.Errorf(`"scenarios" is empty`)
+			}
+			return req, nil
+		}
+	}
+	// Bare spec object or array.
+	return SubmitRequest{Scenarios: trimmed}, nil
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.session.Jobs()
+	out := make([]JobInfo, len(jobs))
+	for i, j := range jobs {
+		out[i] = s.info(j)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*adhocga.Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.session.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, s.info(j))
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusAccepted, s.info(j))
+}
+
+// handleEvents streams the job's events from the first one: full replay
+// for late subscribers, then live follow until the terminal event. NDJSON
+// by default; SSE when the client asks for text/event-stream.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	// The request context detaches the subscription when the client goes
+	// away; the job itself is unaffected.
+	for e := range j.EventsContext(r.Context()) {
+		if sse {
+			if _, err := io.WriteString(w, "data: "); err != nil {
+				return
+			}
+		}
+		if err := enc.Encode(e); err != nil {
+			return
+		}
+		if sse {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,233 @@
+package adhocga
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job lifecycle states. A job is terminal exactly when its state is
+// JobDone, JobFailed, or JobCancelled.
+const (
+	// JobQueued: submitted, waiting for a session job slot.
+	JobQueued JobState = "queued"
+	// JobRunning: holding a job slot, work in progress.
+	JobRunning JobState = "running"
+	// JobDone: finished successfully; Result holds the outcome.
+	JobDone JobState = "done"
+	// JobFailed: finished with a non-cancellation error.
+	JobFailed JobState = "failed"
+	// JobCancelled: stopped cooperatively at a generation barrier (or
+	// while still queued) by context cancellation.
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// Job is the handle to one submitted workload: inspect its state, stream
+// its events, wait for or cancel it. All methods are safe for concurrent
+// use.
+type Job struct {
+	id   string
+	kind string
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu     sync.Mutex
+	log    []Event       // append-only event history
+	notify chan struct{} // closed and replaced on every append/state change
+	state  JobState
+	result any
+	err    error
+}
+
+func newJob(id, kind string) *Job {
+	return &Job{
+		id:     id,
+		kind:   kind,
+		done:   make(chan struct{}),
+		notify: make(chan struct{}),
+		state:  JobQueued,
+	}
+}
+
+// ID returns the session-unique job identifier ("job-1", "job-2", … in
+// submission order — deterministic for a fresh session).
+func (j *Job) ID() string { return j.id }
+
+// Kind returns the job kind tag ("evolve", "scenarios", …), as reported by
+// the submitted JobSpec.
+func (j *Job) Kind() string { return j.kind }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the job's terminal error: nil while running or when done,
+// an error wrapping context.Canceled when cancelled, the failure
+// otherwise.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Result returns the job's outcome value once terminal, nil before. The
+// dynamic type depends on the spec kind (see each JobSpec). A cancelled
+// engine-level job (EvolveSpec, IslandsSpec, IPDRPSpec) still carries its
+// partial result here; batch jobs cancelled mid-flight carry nil — use
+// the event stream (PartialSeries) for their partial view.
+func (j *Job) Result() any {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// EventCount returns the number of events emitted so far.
+func (j *Job) EventCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.log)
+}
+
+// Snapshot returns a copy of the full event history emitted so far.
+func (j *Job) Snapshot() []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Event(nil), j.log...)
+}
+
+// Events streams the job's events from the very first — a subscriber
+// attaching after the job started (or even after it finished) replays the
+// full history, then follows live. The channel is closed after the
+// terminal KindDone event. Every call returns an independent subscription;
+// a slow consumer delays only its own stream, never the job. The consumer
+// must drain the channel to completion — use EventsContext to detach
+// early.
+func (j *Job) Events() <-chan Event {
+	return j.EventsContext(context.Background())
+}
+
+// EventsContext is Events with a detach control: when ctx is cancelled the
+// subscription's goroutine stops and the channel is closed without
+// draining the remaining history. The job itself is unaffected.
+func (j *Job) EventsContext(ctx context.Context) <-chan Event {
+	ch := make(chan Event, 16)
+	go func() {
+		defer close(ch)
+		next := 0
+		for {
+			j.mu.Lock()
+			batch := j.log[next:]
+			notify := j.notify
+			terminal := j.state.Terminal()
+			j.mu.Unlock()
+			for _, e := range batch {
+				select {
+				case ch <- e:
+				case <-ctx.Done():
+					return
+				}
+			}
+			next += len(batch)
+			if terminal && len(batch) == 0 {
+				return
+			}
+			if terminal {
+				// Re-check immediately: the terminal event may already be
+				// in the log we just drained.
+				continue
+			}
+			select {
+			case <-notify:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done. It
+// returns the job's terminal error (nil for success) — or ctx.Err() when
+// the wait itself was abandoned first; the job keeps running in that
+// case.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return j.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Cancel requests cooperative cancellation: the job stops at its next
+// generation barrier (immediately when still queued). Cancel returns
+// without waiting; use Wait to observe the terminal state. Cancelling a
+// terminal job is a no-op.
+func (j *Job) Cancel() { j.cancel() }
+
+// emit appends one event to the log, stamping Seq and Job, and wakes all
+// subscribers. No-op after the job turned terminal (the KindDone event is
+// the last one, emitted by finish itself).
+func (j *Job) emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.appendLocked(e)
+}
+
+func (j *Job) appendLocked(e Event) {
+	e.Seq = len(j.log)
+	e.Job = j.id
+	j.log = append(j.log, e)
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// setRunning moves a queued job to running.
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == JobQueued {
+		j.state = JobRunning
+	}
+}
+
+// finish records the terminal outcome, emits the KindDone event, and
+// releases waiters. The terminal state is derived from err: nil → done,
+// cancellation → cancelled, anything else → failed.
+func (j *Job) finish(result any, err error) {
+	j.mu.Lock()
+	state := JobDone
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		state = JobCancelled
+	default:
+		state = JobFailed
+	}
+	j.result = result
+	j.err = err
+	j.state = state
+	ev := Event{Kind: KindDone, Done: &DoneEvent{State: state}}
+	if err != nil {
+		ev.Done.Error = err.Error()
+	}
+	j.appendLocked(ev)
+	j.mu.Unlock()
+	j.cancel() // release the job context's resources
+	close(j.done)
+}

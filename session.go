@@ -1,0 +1,315 @@
+package adhocga
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"adhocga/internal/runner"
+)
+
+// Session is the context-aware front door to every long-running workload.
+// It owns one shared execution pool (internal/runner.Pool) for its whole
+// lifetime: every job submitted to the session — concurrently or not —
+// draws its replicate work from the same bounded capacity, so an adhocd
+// service (or any embedding program) can multiplex many experiments
+// without oversubscribing the machine. Jobs are submitted as typed
+// JobSpecs via Submit and observed through their Job handles: a unified
+// event stream, Wait, and cooperative cancellation checked at generation
+// barriers (so determinism and golden bit-identity are untouched for
+// uncancelled runs — a job's numbers are exactly the legacy facade's).
+//
+// A Session is safe for concurrent use. Close cancels everything still
+// running and waits for it to stop; a closed session rejects new
+// submissions.
+type Session struct {
+	pool     *runner.Pool
+	scale    Scale
+	seed     uint64
+	jobSlots chan struct{}
+	retain   int // max terminal jobs kept; ≤0 = unlimited
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []*Job
+	nextID int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// SessionOption configures NewSession.
+type SessionOption func(*Session)
+
+// WithPoolSize sets the session execution pool's slot count — the maximum
+// number of replicate units running at once across all jobs. n ≤ 0 (the
+// default) means GOMAXPROCS.
+func WithPoolSize(n int) SessionOption {
+	return func(s *Session) { s.pool = runner.NewPool(n) }
+}
+
+// WithDefaultScale sets the Scale used by batch jobs whose spec leaves it
+// zero. The default is ScaleDefault.
+func WithDefaultScale(sc Scale) SessionOption {
+	return func(s *Session) { s.scale = sc }
+}
+
+// WithDefaultSeed sets the master seed used by batch jobs whose options
+// leave Seed zero — the session's seed policy. The default keeps zero
+// (the layers below derive their streams from it as documented).
+func WithDefaultSeed(seed uint64) SessionOption {
+	return func(s *Session) { s.seed = seed }
+}
+
+// WithMaxConcurrentJobs bounds how many jobs run at once; later
+// submissions queue (state JobQueued) until a slot frees. A cancelled or
+// finished job releases its slot immediately — at the generation barrier
+// it stopped at, not at the end of the workload it abandoned. n ≤ 0 (the
+// default) means no bound beyond the shared pool itself.
+func WithMaxConcurrentJobs(n int) SessionOption {
+	return func(s *Session) {
+		if n > 0 {
+			s.jobSlots = make(chan struct{}, n)
+		} else {
+			s.jobSlots = nil
+		}
+	}
+}
+
+// WithJobRetention bounds how many terminal jobs the session keeps
+// reachable: once more than n jobs have finished, the oldest terminal
+// ones (and their event logs) are evicted from Job/Jobs lookup so a
+// long-lived session — the adhocd daemon — does not grow without bound.
+// Running and queued jobs are never evicted, and held *Job handles stay
+// valid after eviction. n ≤ 0 (the default) keeps every job forever.
+func WithJobRetention(n int) SessionOption {
+	return func(s *Session) { s.retain = n }
+}
+
+// NewSession builds a Session from its functional options.
+func NewSession(opts ...SessionOption) *Session {
+	s := &Session{
+		scale: ScaleDefault,
+		jobs:  map[string]*Job{},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.pool == nil {
+		s.pool = runner.NewPool(0)
+	}
+	return s
+}
+
+// PoolSize returns the session execution pool's slot count.
+func (s *Session) PoolSize() int { return s.pool.Size() }
+
+// DefaultScale returns the session's default scale.
+func (s *Session) DefaultScale() Scale { return s.scale }
+
+// scaleOr resolves a spec-level scale against the session default.
+func (s *Session) scaleOr(sc Scale) Scale {
+	if sc == (Scale{}) {
+		return s.scale
+	}
+	return sc
+}
+
+// Submit starts spec as a new job and returns its handle immediately. The
+// job's lifetime context derives from ctx: cancelling ctx (or calling
+// Job.Cancel, or closing the session) stops the job cooperatively at its
+// next generation barrier. Submit itself never blocks on capacity — a job
+// past the session's concurrent-job bound waits in state JobQueued.
+func (s *Session) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("adhocga: nil job spec")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("adhocga: session is closed")
+	}
+	s.nextID++
+	j := newJob(fmt.Sprintf("job-%d", s.nextID), spec.Kind())
+	jctx, cancel := context.WithCancel(ctx)
+	j.cancel = cancel
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go func() {
+		defer s.wg.Done()
+		if s.jobSlots != nil {
+			select {
+			case s.jobSlots <- struct{}{}:
+				defer func() { <-s.jobSlots }()
+			case <-jctx.Done():
+				j.finish(nil, fmt.Errorf("adhocga: job %s cancelled while queued: %w", j.id, jctx.Err()))
+				s.prune()
+				return
+			}
+		}
+		j.setRunning()
+		res, err := spec.run(jctx, s, j.emit)
+		j.finish(res, err)
+		s.prune()
+	}()
+	return j, nil
+}
+
+// prune evicts the oldest terminal jobs beyond the retention bound so the
+// job map and event logs stay bounded in long-lived sessions. Every
+// terminal transition happens in the Submit goroutine, which calls prune
+// right after finish.
+func (s *Session) prune() {
+	if s.retain <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	terminal := 0
+	for _, j := range s.order {
+		if j.State().Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= s.retain {
+		return
+	}
+	kept := s.order[:0]
+	for _, j := range s.order {
+		if terminal > s.retain && j.State().Terminal() {
+			delete(s.jobs, j.id)
+			terminal--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	s.order = kept
+}
+
+// Job returns the handle of a previously submitted job by ID.
+func (s *Session) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every job submitted to the session, in submission order.
+func (s *Session) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Job(nil), s.order...)
+}
+
+// Close cancels every non-terminal job, waits for all of them to stop,
+// and marks the session closed. Safe to call more than once.
+func (s *Session) Close() {
+	s.mu.Lock()
+	s.closed = true
+	jobs := append([]*Job(nil), s.order...)
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.Cancel()
+	}
+	s.wg.Wait()
+}
+
+// Typed convenience wrappers: submit one spec and wait for it. Each
+// returns the job's typed result; on cancellation the error wraps
+// context.Canceled and engine-level results are the documented partial
+// ones.
+
+// Evolve runs one serial evolutionary experiment on the session.
+func (s *Session) Evolve(ctx context.Context, cfg EvolutionConfig) (*EvolutionResult, error) {
+	res, err := s.submitAndWait(ctx, EvolveSpec{Config: cfg})
+	out, _ := res.(*EvolutionResult)
+	return out, err
+}
+
+// EvolveIslands runs one island-model experiment on the session.
+func (s *Session) EvolveIslands(ctx context.Context, cfg IslandConfig) (*IslandResult, error) {
+	res, err := s.submitAndWait(ctx, IslandsSpec{Config: cfg})
+	out, _ := res.(*IslandResult)
+	return out, err
+}
+
+// RunCase reproduces one Table 4 evaluation case on the session.
+func (s *Session) RunCase(ctx context.Context, c Case, sc Scale, opts RunOptions) (*CaseResult, error) {
+	res, err := s.submitAndWait(ctx, CaseSpec{Case: c, Scale: sc, Opts: opts})
+	out, _ := res.(*CaseResult)
+	return out, err
+}
+
+// RunScenarios runs a batch of declarative scenarios on the session.
+func (s *Session) RunScenarios(ctx context.Context, runs []ScenarioRun, defaults Scale, opts RunOptions) ([]*CaseResult, error) {
+	res, err := s.submitAndWait(ctx, ScenariosSpec{Runs: runs, Defaults: defaults, Opts: opts})
+	out, _ := res.([]*CaseResult)
+	return out, err
+}
+
+// CSNSweep traces evolved cooperation against the CSN count on the
+// session.
+func (s *Session) CSNSweep(ctx context.Context, csnCounts []int, mode PathMode, sc Scale, opts RunOptions) ([]SweepPoint, error) {
+	res, err := s.submitAndWait(ctx, SweepSpec{CSNCounts: csnCounts, Mode: mode, Scale: sc, Opts: opts})
+	out, _ := res.([]SweepPoint)
+	return out, err
+}
+
+// RunMix plays one fixed-population baseline tournament on the session.
+func (s *Session) RunMix(ctx context.Context, cfg MixConfig) (*MixResult, error) {
+	res, err := s.submitAndWait(ctx, MixSpec{Config: cfg})
+	out, _ := res.(*MixResult)
+	return out, err
+}
+
+// RunIPDRP evolves the IPDRP substrate on the session.
+func (s *Session) RunIPDRP(ctx context.Context, cfg IPDRPConfig) (*IPDRPResult, error) {
+	res, err := s.submitAndWait(ctx, IPDRPSpec{Config: cfg})
+	out, _ := res.(*IPDRPResult)
+	return out, err
+}
+
+func (s *Session) submitAndWait(ctx context.Context, spec JobSpec) (any, error) {
+	j, err := s.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	// Wait on the job's own completion, not ctx: when ctx fires the job
+	// stops at its next barrier and finish() delivers the partial result;
+	// abandoning the wait early would lose it.
+	if err := j.Wait(context.Background()); err != nil {
+		return j.Result(), err
+	}
+	return j.Result(), nil
+}
+
+// The default session behind the deprecated package-level wrappers: one
+// process-wide Session with all defaults, created on first use.
+var (
+	defaultSessionOnce sync.Once
+	defaultSession     *Session
+)
+
+// DefaultSession returns the process-wide Session the deprecated
+// package-level wrappers (Evolve, RunCase, RunScenarios, …) delegate to.
+// Programs that want explicit pool sizing, seed policy, job bounds, or a
+// clean shutdown should create their own with NewSession instead.
+func DefaultSession() *Session {
+	defaultSessionOnce.Do(func() {
+		defaultSession = NewSession()
+	})
+	return defaultSession
+}
+
+// compile-time interface checks for the spec set.
+var (
+	_ JobSpec = EvolveSpec{}
+	_ JobSpec = IslandsSpec{}
+	_ JobSpec = CaseSpec{}
+	_ JobSpec = ScenariosSpec{}
+	_ JobSpec = SweepSpec{}
+	_ JobSpec = MixSpec{}
+	_ JobSpec = IPDRPSpec{}
+)
