@@ -1,0 +1,190 @@
+// Command benchgate compares a go-test benchmark run against a committed
+// baseline and fails when a gated benchmark regresses beyond tolerance.
+//
+// It consumes the plain text format `go test -bench` emits (one
+// "BenchmarkName-N  iters  value unit  value unit ..." line per
+// measurement, possibly several per name when -count > 1) and compares
+// the per-name median ns/op. Medians, not means: benchmark noise on
+// shared CI runners is one-sided (interruptions only slow a run down),
+// so the median of several counts is the robust center.
+//
+// Usage:
+//
+//	benchgate -baseline ci/bench_baseline.txt -current bench.txt \
+//	          -match 'BenchmarkPlay$|BenchmarkEvaluate$' -tolerance 0.05
+//	benchgate -baseline ci/bench_baseline.txt -current bench.txt -update
+//
+// Only names matching -match that appear in the baseline gate the build;
+// benchmarks present in just one file are reported but never fatal for
+// the current side (a renamed benchmark must ship a refreshed baseline
+// in the same commit — -update rewrites the baseline from the current
+// run). The tolerance is a ratio: 0.05 fails when current median ns/op
+// exceeds the baseline median by more than 5%.
+//
+// The committed baseline records one machine's numbers; refresh it with
+// -update whenever the benchmark hardware changes, and compare apples to
+// apples by regenerating baseline and current on the same host when
+// gating locally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed benchmark line: the benchmark's full name
+// (including any -N GOMAXPROCS suffix) and its ns/op reading.
+type sample struct {
+	name string
+	nsOp float64
+}
+
+// parseBench extracts every benchmark measurement line from go-test
+// output. Lines that do not carry an ns/op pair (metrics-only lines,
+// PASS/ok trailers, log noise) are skipped.
+func parseBench(text string) []sample {
+	var out []sample
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// fields[1] is the iteration count; value/unit pairs follow.
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			out = append(out, sample{name: fields[0], nsOp: v})
+			break
+		}
+	}
+	return out
+}
+
+// medians collapses samples to one median ns/op per benchmark name.
+func medians(samples []sample) map[string]float64 {
+	byName := map[string][]float64{}
+	for _, s := range samples {
+		byName[s.name] = append(byName[s.name], s.nsOp)
+	}
+	out := make(map[string]float64, len(byName))
+	for name, vs := range byName {
+		sort.Float64s(vs)
+		n := len(vs)
+		if n%2 == 1 {
+			out[name] = vs[n/2]
+		} else {
+			out[name] = (vs[n/2-1] + vs[n/2]) / 2
+		}
+	}
+	return out
+}
+
+// verdict is one gated comparison row.
+type verdict struct {
+	name     string
+	base     float64
+	current  float64
+	ratio    float64
+	regessed bool
+}
+
+// gate compares current against baseline for every baseline name
+// matching the pattern, failing rows whose ratio exceeds 1+tolerance.
+// Gated names missing from the current run fail too: a gate that
+// silently skips vanished benchmarks is no gate.
+func gate(baseline, current map[string]float64, match *regexp.Regexp, tolerance float64) ([]verdict, bool) {
+	var names []string
+	for name := range baseline {
+		if match.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var rows []verdict
+	failed := false
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			rows = append(rows, verdict{name: name, base: base, current: -1, regessed: true})
+			failed = true
+			continue
+		}
+		ratio := cur / base
+		bad := ratio > 1+tolerance
+		rows = append(rows, verdict{name: name, base: base, current: cur, ratio: ratio, regessed: bad})
+		if bad {
+			failed = true
+		}
+	}
+	return rows, failed
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed baseline bench output (go-bench text)")
+	currentPath := flag.String("current", "", "bench output of the run under test")
+	matchExpr := flag.String("match", ".", "regexp selecting the gated benchmark names")
+	tolerance := flag.Float64("tolerance", 0.05, "allowed ns/op regression ratio before failing")
+	update := flag.Bool("update", false, "rewrite the baseline file from the current run and exit")
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
+		os.Exit(2)
+	}
+
+	curText, err := os.ReadFile(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if *update {
+		if err := os.WriteFile(*baselinePath, curText, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: baseline %s updated from %s\n", *baselinePath, *currentPath)
+		return
+	}
+	baseText, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	match, err := regexp.Compile(*matchExpr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: bad -match: %v\n", err)
+		os.Exit(2)
+	}
+
+	rows, failed := gate(medians(parseBench(string(baseText))), medians(parseBench(string(curText))), match, *tolerance)
+	if len(rows) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no baseline benchmarks match %q\n", *matchExpr)
+		os.Exit(2)
+	}
+	fmt.Printf("%-60s %14s %14s %8s\n", "benchmark", "base ns/op", "current ns/op", "ratio")
+	for _, r := range rows {
+		switch {
+		case r.current < 0:
+			fmt.Printf("%-60s %14.1f %14s %8s  FAIL (missing from current run)\n", r.name, r.base, "-", "-")
+		case r.regessed:
+			fmt.Printf("%-60s %14.1f %14.1f %8.3f  FAIL (> %.0f%% regression)\n", r.name, r.base, r.current, r.ratio, *tolerance*100)
+		default:
+			fmt.Printf("%-60s %14.1f %14.1f %8.3f  ok\n", r.name, r.base, r.current, r.ratio)
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL — hot-path benchmark regression over tolerance")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: PASS")
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"regexp"
+	"testing"
+)
+
+const benchText = `
+goos: linux
+goarch: amd64
+BenchmarkPlay-4             	 4512345	       265.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPlay-4             	 4498211	       271.9 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPlay-4             	 4601002	       268.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEvaluate-4         	      78	  15234491 ns/op	       319.0 ns/game
+BenchmarkIslandEvolve/islands=4-4 	       5	 212345678 ns/op	         4.000 cores
+BenchmarkMetricOnly-4       	     100	        12.5 games/op
+PASS
+ok  	adhocga	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	samples := parseBench(benchText)
+	if len(samples) != 5 {
+		t.Fatalf("parsed %d samples, want 5: %v", len(samples), samples)
+	}
+	if samples[0].name != "BenchmarkPlay-4" || samples[0].nsOp != 265.1 {
+		t.Errorf("first sample = %+v", samples[0])
+	}
+	if samples[4].name != "BenchmarkIslandEvolve/islands=4-4" {
+		t.Errorf("sub-benchmark name lost: %+v", samples[4])
+	}
+}
+
+func TestMediansOddAndEven(t *testing.T) {
+	m := medians(parseBench(benchText))
+	if m["BenchmarkPlay-4"] != 268.0 {
+		t.Errorf("median of three Play runs = %v, want 268.0", m["BenchmarkPlay-4"])
+	}
+	m2 := medians([]sample{{"B", 100}, {"B", 200}})
+	if m2["B"] != 150 {
+		t.Errorf("even median = %v, want 150", m2["B"])
+	}
+}
+
+func TestGateVerdicts(t *testing.T) {
+	baseline := map[string]float64{
+		"BenchmarkPlay-4":     100,
+		"BenchmarkEvaluate-4": 1000,
+		"BenchmarkOther-4":    50,
+	}
+	match := regexp.MustCompile(`BenchmarkPlay|BenchmarkEvaluate`)
+
+	// Within tolerance passes; ungated names are ignored even if slower.
+	rows, failed := gate(baseline, map[string]float64{
+		"BenchmarkPlay-4":     104,
+		"BenchmarkEvaluate-4": 900,
+		"BenchmarkOther-4":    5000,
+	}, match, 0.05)
+	if failed {
+		t.Errorf("within-tolerance run failed: %+v", rows)
+	}
+	if len(rows) != 2 {
+		t.Errorf("gated %d rows, want 2", len(rows))
+	}
+
+	// Over tolerance fails.
+	_, failed = gate(baseline, map[string]float64{
+		"BenchmarkPlay-4":     106,
+		"BenchmarkEvaluate-4": 900,
+	}, match, 0.05)
+	if !failed {
+		t.Error("6% regression passed a 5% gate")
+	}
+
+	// A gated benchmark missing from the current run fails.
+	rows, failed = gate(baseline, map[string]float64{
+		"BenchmarkPlay-4": 100,
+	}, match, 0.05)
+	if !failed {
+		t.Error("missing gated benchmark passed")
+	}
+	for _, r := range rows {
+		if r.name == "BenchmarkEvaluate-4" && r.current >= 0 {
+			t.Errorf("missing benchmark row = %+v, want current < 0", r)
+		}
+	}
+}

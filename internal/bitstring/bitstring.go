@@ -38,11 +38,19 @@ func New(n int) Bits {
 // Random returns a uniformly random bit string of length n.
 func Random(r *rng.Source, n int) Bits {
 	b := New(n)
+	b.FillRandom(r)
+	return b
+}
+
+// FillRandom overwrites b with uniformly random bits in place, drawing
+// exactly as Random(r, b.Len()) does — one Uint64 per word. It is the
+// reuse primitive for re-randomizing a population without reallocating
+// its genomes.
+func (b Bits) FillRandom(r *rng.Source) {
 	for i := range b.w {
 		b.w[i] = r.Uint64()
 	}
 	b.maskTail()
-	return b
 }
 
 // Parse decodes a string of '0' and '1' characters; spaces are ignored so

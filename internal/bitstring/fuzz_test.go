@@ -48,6 +48,10 @@ func FuzzOperators(f *testing.F) {
 
 		c, d := OnePointCrossover(a, b, cut)
 		checkPair("OnePointCrossover", c, d)
+		// SWAR vs scalar reference: bit-identical on every input shape.
+		if rc, rd := OnePointCrossoverRef(a, b, cut); !c.Equal(rc) || !d.Equal(rd) {
+			t.Fatal("OnePointCrossover differs from scalar reference")
+		}
 		if cut < 1 || cut >= length {
 			if !c.Equal(a) || !d.Equal(b) {
 				t.Fatal("out-of-range cut must copy the parents")
@@ -69,12 +73,19 @@ func FuzzOperators(f *testing.F) {
 		checkPair("RandomOnePointCrossover", c, d)
 		c, d = RandomTwoPointCrossover(r, a, b)
 		checkPair("RandomTwoPointCrossover", c, d)
-		c, d = UniformCrossover(r, a, b)
+		uc1, uc2 := rng.New(seedOp+1), rng.New(seedOp+1)
+		c, d = UniformCrossover(uc1, a, b)
 		checkPair("UniformCrossover", c, d)
+		if rc, rd := UniformCrossoverRef(uc2, a, b); !c.Equal(rc) || !d.Equal(rd) || uc1.Uint64() != uc2.Uint64() {
+			t.Fatal("UniformCrossover differs from scalar reference (bits or draw count)")
+		}
 
 		lo, hi := cut, cut+int(n)%7
 		c, d = TwoPointCrossover(a, b, lo, hi)
 		checkPair("TwoPointCrossover", c, d)
+		if rc, rd := TwoPointCrossoverRef(a, b, lo, hi); !c.Equal(rc) || !d.Equal(rd) {
+			t.Fatal("TwoPointCrossover differs from scalar reference")
+		}
 
 		// Mutation: the reported flip count is the Hamming distance to the
 		// pre-mutation genome, and identical seeds replay identically.
@@ -89,6 +100,28 @@ func FuzzOperators(f *testing.F) {
 		m2.MutateFlip(rng.New(seedOp), mp)
 		if !m1.Equal(m2) {
 			t.Fatal("MutateFlip not deterministic for a fixed seed")
+		}
+		// SWAR vs the historical per-bit loop: identical bits, flip count
+		// and draw count (the engine goldens pin this sequence).
+		m3 := a.Clone()
+		mr1, mr2 := rng.New(seedOp), rng.New(seedOp)
+		m1 = a.Clone()
+		f1 := m1.MutateFlip(mr1, mp)
+		f2 := m3.MutateFlipRef(mr2, mp)
+		if f1 != f2 || !m1.Equal(m3) || mr1.Uint64() != mr2.Uint64() {
+			t.Fatal("MutateFlip differs from scalar reference (bits, count, or draws)")
+		}
+
+		// Geometric-skip mutation: different draw contract, same
+		// count-equals-Hamming invariant and determinism.
+		g1, g2 := a.Clone(), a.Clone()
+		gf := g1.MutateFlipGeom(rng.New(seedOp+2), mp)
+		if got := g1.Hamming(a); got != gf {
+			t.Fatalf("MutateFlipGeom reported %d flips, Hamming says %d", gf, got)
+		}
+		g2.MutateFlipGeom(rng.New(seedOp+2), mp)
+		if !g1.Equal(g2) {
+			t.Fatal("MutateFlipGeom not deterministic for a fixed seed")
 		}
 	})
 }

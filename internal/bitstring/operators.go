@@ -1,15 +1,267 @@
 package bitstring
 
-import "adhocga/internal/rng"
+import (
+	"math"
+	"math/bits"
+
+	"adhocga/internal/rng"
+)
 
 // Genetic operators on bit strings. These are the mechanical pieces of §5:
 // standard one-point crossover and uniform bit-flip mutation, plus the
 // two-point and uniform variants used by the ablation benchmarks.
+//
+// All operators work on whole uint64 words with mask-based splicing (SWAR)
+// rather than per-bit loops; scalar per-bit reference implementations are
+// retained below (*Ref) and pinned bit-identical by the property and fuzz
+// tests. The RNG draw-order contract of every randomized operator is
+// documented in DESIGN.md §"RNG draw-order contract": MutateFlip keeps the
+// historical one-draw-per-bit sequence (every engine golden pins it), while
+// UniformCrossover consumes one word-sized mask per 64 bits.
 
 // OnePointCrossover cuts both parents at the same point cut ∈ [1, len-1]
 // and exchanges the tails, returning two fresh children. With cut outside
 // that range the children are plain copies. Parents are not modified.
 func OnePointCrossover(a, b Bits, cut int) (Bits, Bits) {
+	c, d := a.Clone(), b.Clone()
+	OnePointCrossoverInto(a, b, c, d, cut)
+	return c, d
+}
+
+// OnePointCrossoverInto is OnePointCrossover writing the children into the
+// caller-owned vectors c and d — the zero-allocation form the arena-reusing
+// reproduction path uses. c and d must have the parents' length and may not
+// alias a or b. It consumes no randomness.
+func OnePointCrossoverInto(a, b, c, d Bits, cut int) {
+	if a.n != b.n {
+		panic("bitstring: crossover of unequal lengths")
+	}
+	c.copyFrom(a)
+	d.copyFrom(b)
+	if cut < 1 || cut >= a.n {
+		return
+	}
+	swapBitRange(c.w, d.w, cut, a.n)
+}
+
+// RandomOnePointCrossover performs OnePointCrossover at a uniformly random
+// cut point in [1, len-1]. Strings shorter than 2 bits are returned as
+// copies. Draw contract: exactly one IntRange draw for strings of ≥ 2 bits,
+// none otherwise.
+func RandomOnePointCrossover(r *rng.Source, a, b Bits) (Bits, Bits) {
+	if a.n < 2 {
+		return a.Clone(), b.Clone()
+	}
+	return OnePointCrossover(a, b, r.IntRange(1, a.n-1))
+}
+
+// RandomOnePointCrossoverInto is RandomOnePointCrossover into caller-owned
+// children, consuming the identical draw sequence.
+func RandomOnePointCrossoverInto(r *rng.Source, a, b, c, d Bits) {
+	if a.n < 2 {
+		c.copyFrom(a)
+		d.copyFrom(b)
+		return
+	}
+	OnePointCrossoverInto(a, b, c, d, r.IntRange(1, a.n-1))
+}
+
+// TwoPointCrossover exchanges the segment [lo, hi) between the parents.
+// Out-of-order or out-of-range bounds are clamped.
+func TwoPointCrossover(a, b Bits, lo, hi int) (Bits, Bits) {
+	c, d := a.Clone(), b.Clone()
+	TwoPointCrossoverInto(a, b, c, d, lo, hi)
+	return c, d
+}
+
+// TwoPointCrossoverInto is TwoPointCrossover into caller-owned children.
+func TwoPointCrossoverInto(a, b, c, d Bits, lo, hi int) {
+	if a.n != b.n {
+		panic("bitstring: crossover of unequal lengths")
+	}
+	c.copyFrom(a)
+	d.copyFrom(b)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > a.n {
+		hi = a.n
+	}
+	if lo < hi {
+		swapBitRange(c.w, d.w, lo, hi)
+	}
+}
+
+// RandomTwoPointCrossover picks two random cut points and exchanges the
+// middle segment. Draw contract: two Intn draws for strings of ≥ 2 bits,
+// none otherwise.
+func RandomTwoPointCrossover(r *rng.Source, a, b Bits) (Bits, Bits) {
+	if a.n < 2 {
+		return a.Clone(), b.Clone()
+	}
+	lo := r.Intn(a.n)
+	hi := r.Intn(a.n + 1)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return TwoPointCrossover(a, b, lo, hi)
+}
+
+// RandomTwoPointCrossoverInto is RandomTwoPointCrossover into caller-owned
+// children, consuming the identical draw sequence.
+func RandomTwoPointCrossoverInto(r *rng.Source, a, b, c, d Bits) {
+	if a.n < 2 {
+		c.copyFrom(a)
+		d.copyFrom(b)
+		return
+	}
+	lo := r.Intn(a.n)
+	hi := r.Intn(a.n + 1)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	TwoPointCrossoverInto(a, b, c, d, lo, hi)
+}
+
+// UniformCrossover swaps each position independently with probability 0.5.
+// Draw contract: one Uint64 mask per 64-bit word (⌈len/64⌉ draws); bit
+// i%64 of mask i/64 decides position i. (Re-pinned from the historical
+// one-Bool-per-bit sequence — no golden depended on it; see DESIGN.md.)
+func UniformCrossover(r *rng.Source, a, b Bits) (Bits, Bits) {
+	c, d := a.Clone(), b.Clone()
+	UniformCrossoverInto(r, a, b, c, d)
+	return c, d
+}
+
+// UniformCrossoverInto is UniformCrossover into caller-owned children,
+// consuming the identical draw sequence.
+func UniformCrossoverInto(r *rng.Source, a, b, c, d Bits) {
+	if a.n != b.n {
+		panic("bitstring: crossover of unequal lengths")
+	}
+	c.copyFrom(a)
+	d.copyFrom(b)
+	for wi := range c.w {
+		// Tail bits beyond n are zero in both children (maskTail
+		// invariant), so swapping them under an unmasked draw is a no-op.
+		x := (c.w[wi] ^ d.w[wi]) & r.Uint64()
+		c.w[wi] ^= x
+		d.w[wi] ^= x
+	}
+}
+
+// MutateFlip flips each bit independently with probability p, in place,
+// and returns the number of flipped bits.
+//
+// Draw contract (pinned by every engine golden): for 0 < p < 1 exactly one
+// Uint64 draw per bit, in bit order; p ≤ 0 and p ≥ 1 consume no draws.
+// The implementation accumulates flips into a per-word XOR mask and decides
+// each draw with an exact integer threshold: u>>11 < ceil(p·2⁵³) holds iff
+// Float64() < p, because float64(u>>11)·2⁻⁵³ and p·2⁵³ are both exact.
+func (b Bits) MutateFlip(r *rng.Source, p float64) int {
+	if p <= 0 || b.n == 0 {
+		return 0
+	}
+	if p >= 1 {
+		for wi := range b.w {
+			b.w[wi] = ^b.w[wi]
+		}
+		b.maskTail()
+		return b.n
+	}
+	threshold := uint64(math.Ceil(p * (1 << 53)))
+	flips := 0
+	rem := b.n
+	for wi := range b.w {
+		width := 64
+		if rem < 64 {
+			width = rem
+		}
+		rem -= width
+		if mask := r.BitMask(width, threshold); mask != 0 {
+			b.w[wi] ^= mask
+			flips += bits.OnesCount64(mask)
+		}
+	}
+	return flips
+}
+
+// MutateFlipGeom is a geometric-skip variant of MutateFlip: instead of one
+// draw per bit it draws the gap to the next flipped bit directly from the
+// geometric distribution, so the expected cost is O(p·len) draws instead of
+// O(len). The flip marginals are identical to MutateFlip's (each bit flips
+// independently with probability p) but the draw sequence is different —
+// one Float64 per flip plus one terminating draw — so results for a fixed
+// seed differ from MutateFlip and the engine keeps MutateFlip wherever
+// goldens pin the stream. See DESIGN.md §"RNG draw-order contract".
+func (b Bits) MutateFlipGeom(r *rng.Source, p float64) int {
+	if p <= 0 || b.n == 0 {
+		return 0
+	}
+	if p >= 1 {
+		return b.MutateFlip(r, p)
+	}
+	logq := math.Log1p(-p) // log(1-p) < 0
+	flips := 0
+	for i := 0; ; i++ {
+		// Gap to the next flip: floor(log(1-u)/log(1-p)) with u ∈ [0,1) is
+		// Geometric(p) on {0,1,2,…}; 1-u ∈ (0,1] keeps the log finite.
+		skip := math.Log1p(-r.Float64()) / logq
+		if skip >= float64(b.n-i) { // also catches +Inf
+			break
+		}
+		i += int(skip)
+		b.w[i/64] ^= 1 << (uint(i) % 64)
+		flips++
+	}
+	return flips
+}
+
+// swapBitRange exchanges bits [lo, hi) between the equal-length word
+// vectors x and y with mask-based word splicing. Callers guarantee
+// 0 ≤ lo < hi ≤ 64·len(x).
+func swapBitRange(x, y []uint64, lo, hi int) {
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) % 64)
+	hiMask := ^uint64(0) >> (63 - (uint(hi-1) % 64))
+	if loW == hiW {
+		swapMasked(x, y, loW, loMask&hiMask)
+		return
+	}
+	swapMasked(x, y, loW, loMask)
+	for wi := loW + 1; wi < hiW; wi++ {
+		x[wi], y[wi] = y[wi], x[wi]
+	}
+	swapMasked(x, y, hiW, hiMask)
+}
+
+// swapMasked exchanges the masked bits of words x[wi] and y[wi].
+func swapMasked(x, y []uint64, wi int, mask uint64) {
+	d := (x[wi] ^ y[wi]) & mask
+	x[wi] ^= d
+	y[wi] ^= d
+}
+
+// copyFrom overwrites b with src's bits. Lengths must match.
+func (b Bits) copyFrom(src Bits) {
+	if b.n != src.n {
+		panic("bitstring: copy between unequal lengths")
+	}
+	copy(b.w, src.w)
+}
+
+// CopyFrom overwrites b with src's bits in place, the reuse primitive of
+// the arena reproduction path. Lengths must match; it panics otherwise.
+func (b Bits) CopyFrom(src Bits) { b.copyFrom(src) }
+
+// Scalar per-bit reference implementations. These are the semantics the
+// SWAR operators above are pinned against (operators_test.go property
+// tests, FuzzOperators): same inputs and — for the randomized ones — the
+// same draw contract, bit-identical outputs. They are exported for the
+// benchmarks' before/after comparison but carry no compatibility promise.
+
+// OnePointCrossoverRef is the per-bit reference for OnePointCrossover.
+func OnePointCrossoverRef(a, b Bits, cut int) (Bits, Bits) {
 	if a.n != b.n {
 		panic("bitstring: crossover of unequal lengths")
 	}
@@ -24,19 +276,8 @@ func OnePointCrossover(a, b Bits, cut int) (Bits, Bits) {
 	return c, d
 }
 
-// RandomOnePointCrossover performs OnePointCrossover at a uniformly random
-// cut point in [1, len-1]. Strings shorter than 2 bits are returned as
-// copies.
-func RandomOnePointCrossover(r *rng.Source, a, b Bits) (Bits, Bits) {
-	if a.n < 2 {
-		return a.Clone(), b.Clone()
-	}
-	return OnePointCrossover(a, b, r.IntRange(1, a.n-1))
-}
-
-// TwoPointCrossover exchanges the segment [lo, hi) between the parents.
-// Out-of-order or out-of-range bounds are clamped.
-func TwoPointCrossover(a, b Bits, lo, hi int) (Bits, Bits) {
+// TwoPointCrossoverRef is the per-bit reference for TwoPointCrossover.
+func TwoPointCrossoverRef(a, b Bits, lo, hi int) (Bits, Bits) {
 	if a.n != b.n {
 		panic("bitstring: crossover of unequal lengths")
 	}
@@ -54,38 +295,33 @@ func TwoPointCrossover(a, b Bits, lo, hi int) (Bits, Bits) {
 	return c, d
 }
 
-// RandomTwoPointCrossover picks two random cut points and exchanges the
-// middle segment.
-func RandomTwoPointCrossover(r *rng.Source, a, b Bits) (Bits, Bits) {
-	if a.n < 2 {
-		return a.Clone(), b.Clone()
-	}
-	lo := r.Intn(a.n)
-	hi := r.Intn(a.n + 1)
-	if lo > hi {
-		lo, hi = hi, lo
-	}
-	return TwoPointCrossover(a, b, lo, hi)
-}
-
-// UniformCrossover swaps each position independently with probability 0.5.
-func UniformCrossover(r *rng.Source, a, b Bits) (Bits, Bits) {
+// UniformCrossoverRef is the per-bit reference for UniformCrossover under
+// the same word-mask draw contract: one Uint64 per word, bit i%64 decides
+// position i.
+func UniformCrossoverRef(r *rng.Source, a, b Bits) (Bits, Bits) {
 	if a.n != b.n {
 		panic("bitstring: crossover of unequal lengths")
 	}
 	c, d := a.Clone(), b.Clone()
-	for i := 0; i < a.n; i++ {
-		if r.Bool(0.5) {
-			c.Set(i, b.Get(i))
-			d.Set(i, a.Get(i))
+	for wi := 0; wi < len(c.w); wi++ {
+		mask := r.Uint64()
+		for j := 0; j < 64; j++ {
+			i := wi*64 + j
+			if i >= a.n {
+				break
+			}
+			if mask>>uint(j)&1 == 1 {
+				c.Set(i, b.Get(i))
+				d.Set(i, a.Get(i))
+			}
 		}
 	}
 	return c, d
 }
 
-// MutateFlip flips each bit independently with probability p, in place,
-// and returns the number of flipped bits.
-func (b Bits) MutateFlip(r *rng.Source, p float64) int {
+// MutateFlipRef is the per-bit reference for MutateFlip: the historical
+// one-Bool-per-bit loop, draw-identical to MutateFlip.
+func (b Bits) MutateFlipRef(r *rng.Source, p float64) int {
 	flips := 0
 	for i := 0; i < b.n; i++ {
 		if r.Bool(p) {

@@ -1,0 +1,241 @@
+package bitstring
+
+import (
+	"testing"
+
+	"adhocga/internal/rng"
+)
+
+// The SWAR operators are pinned bit-identical to the scalar *Ref
+// implementations — and, for the randomized ones, draw-identical: after
+// running both from equally seeded sources, a sentinel draw from each
+// source must agree, proving the operators consumed the same number of
+// values. Lengths 1–256 cover every tail shape: sub-word, word-aligned,
+// and multi-word with ragged tails.
+
+// swarLengths is the sweep used by the equivalence tests: every length in
+// 1–70 (all small/tail shapes around the first word boundary) plus
+// representatives up to 256 including the aligned and ±1 cases.
+func swarLengths() []int {
+	var ls []int
+	for n := 1; n <= 70; n++ {
+		ls = append(ls, n)
+	}
+	ls = append(ls, 96, 127, 128, 129, 130, 191, 192, 193, 200, 255, 256)
+	return ls
+}
+
+func TestOnePointCrossoverMatchesRefAllLengths(t *testing.T) {
+	r := rng.New(41)
+	for _, n := range swarLengths() {
+		a, b := Random(r, n), Random(r, n)
+		// Every cut, including the degenerate out-of-range ones.
+		for cut := -1; cut <= n+1; cut++ {
+			c1, d1 := OnePointCrossover(a, b, cut)
+			c2, d2 := OnePointCrossoverRef(a, b, cut)
+			if !c1.Equal(c2) || !d1.Equal(d2) {
+				t.Fatalf("n=%d cut=%d: SWAR differs from scalar reference", n, cut)
+			}
+		}
+	}
+}
+
+func TestTwoPointCrossoverMatchesRefAllLengths(t *testing.T) {
+	r := rng.New(42)
+	for _, n := range swarLengths() {
+		a, b := Random(r, n), Random(r, n)
+		cuts := []int{-3, 0, 1, n / 3, n / 2, n - 1, n, n + 5}
+		for _, lo := range cuts {
+			for _, hi := range cuts {
+				c1, d1 := TwoPointCrossover(a, b, lo, hi)
+				c2, d2 := TwoPointCrossoverRef(a, b, lo, hi)
+				if !c1.Equal(c2) || !d1.Equal(d2) {
+					t.Fatalf("n=%d [%d,%d): SWAR differs from scalar reference", n, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestUniformCrossoverMatchesRefAllLengths(t *testing.T) {
+	r := rng.New(43)
+	for _, n := range swarLengths() {
+		a, b := Random(r, n), Random(r, n)
+		r1, r2 := rng.New(uint64(n)), rng.New(uint64(n))
+		c1, d1 := UniformCrossover(r1, a, b)
+		c2, d2 := UniformCrossoverRef(r2, a, b)
+		if !c1.Equal(c2) || !d1.Equal(d2) {
+			t.Fatalf("n=%d: SWAR differs from scalar reference", n)
+		}
+		if r1.Uint64() != r2.Uint64() {
+			t.Fatalf("n=%d: SWAR consumed a different number of draws", n)
+		}
+	}
+}
+
+func TestMutateFlipMatchesRefAllLengths(t *testing.T) {
+	r := rng.New(44)
+	for _, n := range swarLengths() {
+		for _, p := range []float64{0, 0.001, 0.1, 0.5, 0.9375, 1, 1.5, -2} {
+			g := Random(r, n)
+			m1, m2 := g.Clone(), g.Clone()
+			r1, r2 := rng.New(uint64(n)*31+1), rng.New(uint64(n)*31+1)
+			f1 := m1.MutateFlip(r1, p)
+			f2 := m2.MutateFlipRef(r2, p)
+			if f1 != f2 || !m1.Equal(m2) {
+				t.Fatalf("n=%d p=%v: SWAR differs from scalar reference (%d vs %d flips)", n, p, f1, f2)
+			}
+			if r1.Uint64() != r2.Uint64() {
+				t.Fatalf("n=%d p=%v: SWAR consumed a different number of draws", n, p)
+			}
+		}
+	}
+}
+
+// The Into variants must reproduce the allocating forms exactly, including
+// the RNG draw sequence, on every length and tail shape.
+func TestIntoVariantsMatchAllocatingForms(t *testing.T) {
+	r := rng.New(45)
+	for _, n := range swarLengths() {
+		a, b := Random(r, n), Random(r, n)
+		c, d := New(n), New(n)
+
+		r1, r2 := rng.New(uint64(n)+7), rng.New(uint64(n)+7)
+		wc, wd := RandomOnePointCrossover(r1, a, b)
+		RandomOnePointCrossoverInto(r2, a, b, c, d)
+		if !c.Equal(wc) || !d.Equal(wd) || r1.Uint64() != r2.Uint64() {
+			t.Fatalf("n=%d: RandomOnePointCrossoverInto diverges", n)
+		}
+
+		r1, r2 = rng.New(uint64(n)+8), rng.New(uint64(n)+8)
+		wc, wd = RandomTwoPointCrossover(r1, a, b)
+		RandomTwoPointCrossoverInto(r2, a, b, c, d)
+		if !c.Equal(wc) || !d.Equal(wd) || r1.Uint64() != r2.Uint64() {
+			t.Fatalf("n=%d: RandomTwoPointCrossoverInto diverges", n)
+		}
+
+		r1, r2 = rng.New(uint64(n)+9), rng.New(uint64(n)+9)
+		wc, wd = UniformCrossover(r1, a, b)
+		UniformCrossoverInto(r2, a, b, c, d)
+		if !c.Equal(wc) || !d.Equal(wd) || r1.Uint64() != r2.Uint64() {
+			t.Fatalf("n=%d: UniformCrossoverInto diverges", n)
+		}
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	r := rng.New(46)
+	src := Random(r, 77)
+	dst := Random(r, 77)
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Fatal("CopyFrom did not copy")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom with mismatched lengths must panic")
+		}
+	}()
+	New(10).CopyFrom(src)
+}
+
+// MutateFlipGeom has a different draw sequence but the same marginals:
+// each bit flips independently with probability p. Check the aggregate
+// flip rate and the count == Hamming-distance invariant.
+func TestMutateFlipGeomRate(t *testing.T) {
+	r := rng.New(47)
+	const trials = 20000
+	const p = 0.1
+	flips := 0
+	for i := 0; i < trials; i++ {
+		b := New(13)
+		n := b.MutateFlipGeom(r, p)
+		if n != b.OneCount() {
+			t.Fatalf("reported %d flips, genome has %d ones", n, b.OneCount())
+		}
+		flips += n
+	}
+	got := float64(flips) / float64(trials*13)
+	if got < 0.09 || got > 0.11 {
+		t.Errorf("observed flip rate %v, want about %v", got, p)
+	}
+}
+
+func TestMutateFlipGeomEdgeCases(t *testing.T) {
+	r := rng.New(48)
+	b := Random(r, 13)
+	orig := b.Clone()
+	if f := b.MutateFlipGeom(r, 0); f != 0 || !b.Equal(orig) {
+		t.Error("MutateFlipGeom(0) changed the genome")
+	}
+	if f := b.MutateFlipGeom(r, 1); f != 13 || b.Hamming(orig) != 13 {
+		t.Error("MutateFlipGeom(1) did not invert every bit")
+	}
+	// Tiny p on a long genome: flips stay sparse and in range (no panic,
+	// no bias pile-up at word boundaries).
+	long := New(256)
+	long.MutateFlipGeom(r, 1e-9)
+}
+
+// Operator microbenches at the paper's genome length (13), one full word
+// (64) and four words (256): the before/after rows of README's
+// performance table. The *Ref rows keep the scalar baseline measurable in
+// the same binary.
+
+func benchCrossoverPair(b *testing.B, n int, f func(r *rng.Source, x, y Bits) (Bits, Bits)) {
+	r := rng.New(1)
+	x, y := Random(r, n), Random(r, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = f(r, x, y)
+	}
+}
+
+func BenchmarkOnePointCrossover64(b *testing.B) {
+	benchCrossoverPair(b, 64, RandomOnePointCrossover)
+}
+
+func BenchmarkOnePointCrossover256(b *testing.B) {
+	benchCrossoverPair(b, 256, RandomOnePointCrossover)
+}
+
+func BenchmarkOnePointCrossoverRef(b *testing.B) {
+	benchCrossoverPair(b, 13, func(r *rng.Source, x, y Bits) (Bits, Bits) {
+		return OnePointCrossoverRef(x, y, r.IntRange(1, x.Len()-1))
+	})
+}
+
+func BenchmarkUniformCrossover(b *testing.B) {
+	benchCrossoverPair(b, 13, UniformCrossover)
+}
+
+func BenchmarkUniformCrossover256(b *testing.B) {
+	benchCrossoverPair(b, 256, UniformCrossover)
+}
+
+func benchMutate(b *testing.B, n int, p float64, geom bool) {
+	r := rng.New(1)
+	x := Random(r, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if geom {
+			x.MutateFlipGeom(r, p)
+		} else {
+			x.MutateFlip(r, p)
+		}
+	}
+}
+
+func BenchmarkMutateFlip64(b *testing.B)      { benchMutate(b, 64, 0.001, false) }
+func BenchmarkMutateFlip256(b *testing.B)     { benchMutate(b, 256, 0.001, false) }
+func BenchmarkMutateFlipGeom(b *testing.B)    { benchMutate(b, 13, 0.001, true) }
+func BenchmarkMutateFlipGeom256(b *testing.B) { benchMutate(b, 256, 0.001, true) }
+
+func BenchmarkMutateFlipRef(b *testing.B) {
+	r := rng.New(1)
+	x := Random(r, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.MutateFlipRef(r, 0.001)
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"adhocga/internal/dynamics"
+	"adhocga/internal/ga"
+	"adhocga/internal/metrics"
+	"adhocga/internal/tournament"
+)
+
+// TestReinitReplaysNew pins the arena-reuse contract of Reinit: an engine
+// rebuilt in place over a previous run's buffers must replay a fresh
+// New(cfg) bit-for-bit — same cooperation series, same final strategies —
+// even when the previous run used a different seed, environment set, and
+// generation count.
+func TestReinitReplaysNew(t *testing.T) {
+	envsA := []tournament.Environment{{Name: "A", CSN: 0}, {Name: "B", CSN: 2}}
+	envsB := []tournament.Environment{{Name: "C", CSN: 4}}
+	cfgA := smallConfig(11, envsA, 4)
+	cfgB := smallConfig(23, envsB, 6)
+
+	warm, err := New(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Reinit(cfgB); err != nil {
+		t.Fatal(err)
+	}
+	got, err := warm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := New(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got.CoopSeries) != len(want.CoopSeries) {
+		t.Fatalf("series length %d, want %d", len(got.CoopSeries), len(want.CoopSeries))
+	}
+	for g := range want.CoopSeries {
+		if got.CoopSeries[g] != want.CoopSeries[g] ||
+			got.MeanEnvCoopSeries[g] != want.MeanEnvCoopSeries[g] {
+			t.Fatalf("generation %d: reused engine diverged: coop %v vs %v",
+				g, got.CoopSeries[g], want.CoopSeries[g])
+		}
+	}
+	for i := range want.FinalStrategies {
+		if got.FinalStrategies[i].Genome().Compact() != want.FinalStrategies[i].Genome().Compact() {
+			t.Fatalf("final strategy %d differs after Reinit", i)
+		}
+	}
+}
+
+// TestReinitWithDynamics covers the one part of Reinit that rebuilds
+// rather than reuses: the perturbation model. A reused engine must replay
+// a dynamics-enabled run identically, including churn barriers.
+func TestReinitWithDynamics(t *testing.T) {
+	envs := []tournament.Environment{{Name: "A", CSN: 2}}
+	cfg := smallConfig(7, envs, 6)
+	cfg.Dynamics = &dynamics.Config{
+		Interval:   2,
+		ChurnRate:  0.2,
+		RewireProb: 0.6,
+		RewireStep: 0.3,
+		FreeRiders: 1,
+	}
+	run := func(e *Engine) []float64 {
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CoopSeries
+	}
+
+	fresh, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := run(fresh)
+
+	warm, err := New(smallConfig(99, envs, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(warm)
+	if err := warm.Reinit(cfg); err != nil {
+		t.Fatal(err)
+	}
+	got := run(warm)
+
+	for g := range want {
+		if got[g] != want[g] {
+			t.Fatalf("dynamics run diverged at generation %d: %v vs %v", g, got[g], want[g])
+		}
+	}
+}
+
+// TestWarmGenerationZeroAllocs measures a full warm generation —
+// evaluation, fitness stats, series recording, reproduction — on an
+// engine whose arenas have been through one generation already. With no
+// hooks installed and pre-sized series, the steady-state loop must not
+// allocate.
+func TestWarmGenerationZeroAllocs(t *testing.T) {
+	envs := []tournament.Environment{{Name: "A", CSN: 0}, {Name: "B", CSN: 2}}
+	cfg := smallConfig(3, envs, 4)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collector := metrics.NewCollector()
+	res := NewResult(256, len(envs))
+	generation := func() {
+		if err := e.EvaluateGeneration(collector); err != nil {
+			t.Fatal(err)
+		}
+		ga.Stats(e.genomes)
+		res.Record(collector)
+		if err := e.Reproduce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two warm-up generations so both reproduction arena buffers and the
+	// collector's per-environment storage are grown.
+	generation()
+	generation()
+
+	allocs := testing.AllocsPerRun(50, func() {
+		res.CoopSeries = res.CoopSeries[:0]
+		res.MeanEnvCoopSeries = res.MeanEnvCoopSeries[:0]
+		for i := range res.CoopPerEnvSeries {
+			res.CoopPerEnvSeries[i] = res.CoopPerEnvSeries[i][:0]
+		}
+		generation()
+	})
+	if allocs != 0 {
+		t.Errorf("warm generation allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -189,33 +189,117 @@ type Engine struct {
 	// reproductions counts Reproduce calls to phase its barriers.
 	dyn           *dynamics.Model
 	reproductions int
+
+	// es holds the evaluation pass's working buffers across generations;
+	// after the first generation warms it, EvaluateGeneration runs
+	// allocation-free.
+	es tournament.EvalState
+
+	// repro is the double-buffered offspring arena: Reproduce writes each
+	// new generation into repro[reproParity] while reading parents from
+	// the other buffer (or from init/immigrant vectors), then flips the
+	// parity. Two buffers suffice because strategies are reinstalled from
+	// the live genomes at the start of every EvaluateGeneration, before
+	// the buffer they previously shared is ever rewritten. reproParity is
+	// deliberately NOT reset by Reinit: the live genomes stay inside the
+	// buffer they were written to, and the next Reproduce must keep
+	// targeting the other one.
+	repro       [2]ga.Buffers
+	reproParity int
 }
 
 // New validates the configuration and builds an Engine with a random
 // initial population.
 func New(cfg Config) (*Engine, error) {
-	if err := cfg.Validate(); err != nil {
+	e := &Engine{}
+	if err := e.Reinit(cfg); err != nil {
 		return nil, err
 	}
-	e := &Engine{
-		cfg: cfg,
-		r:   rng.New(cfg.Seed),
-		gen: network.NewGenerator(cfg.Eval.Tournament.Mode),
+	return e, nil
+}
+
+// Reinit rebuilds the engine in place for a fresh run of cfg — the arena
+// reuse primitive behind session job pooling. It is exactly equivalent to
+// New(cfg): the same draw sequence from the same seed, so a reinitialized
+// engine replays a fresh one bit for bit. The difference is purely
+// allocation: genomes are re-randomized in place, players keep their dense
+// reputation stores (reset rather than rebuilt), and the evaluation pass's
+// warm working buffers survive, so reinitializing for a same-shaped config
+// costs a handful of small allocations instead of rebuilding the whole
+// working set. Results obtained from earlier runs stay valid: everything
+// they carry is either freshly allocated per run or deep-copied
+// (SnapshotStrategies).
+func (e *Engine) Reinit(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
-	e.normals = make([]*game.Player, cfg.PopulationSize)
-	e.genomes = make([]ga.Individual, cfg.PopulationSize)
-	for i := range e.normals {
-		g := strategy.Random(e.r).Genome()
+	e.cfg = cfg
+	if e.r == nil {
+		e.r = rng.New(cfg.Seed)
+	} else {
+		e.r.Reseed(cfg.Seed)
+	}
+	if e.gen == nil {
+		e.gen = network.NewGenerator(cfg.Eval.Tournament.Mode)
+	} else {
+		e.gen.SetMode(cfg.Eval.Tournament.Mode)
+	}
+	e.dyn = nil
+	e.byz = nil
+	e.reproductions = 0
+
+	n := cfg.PopulationSize
+	if cap(e.normals) < n {
+		grown := make([]*game.Player, n)
+		copy(grown, e.normals)
+		e.normals = grown
+	}
+	e.normals = e.normals[:n]
+	if cap(e.genomes) < n {
+		grown := make([]ga.Individual, n)
+		copy(grown, e.genomes)
+		e.genomes = grown
+	}
+	e.genomes = e.genomes[:n]
+	for i := 0; i < n; i++ {
+		g := e.genomes[i].Genome
+		if g.Len() != strategy.Bits {
+			g = bitstring.New(strategy.Bits)
+		}
+		// Identical draws to strategy.Random: one engine word per genome.
+		g.FillRandom(e.r)
 		if cfg.Constraint != nil {
 			cfg.Constraint(g)
 		}
-		e.normals[i] = game.NewNormal(network.NodeID(i), strategy.New(g.Clone()))
 		e.genomes[i] = ga.Individual{Genome: g}
+		if p := e.normals[i]; p != nil {
+			p.ID = network.NodeID(i)
+			p.Type = game.Normal
+			p.Adv = game.AdvNone
+			p.Strategy = strategy.New(g)
+			p.ResetForGeneration()
+		} else {
+			e.normals[i] = game.NewNormal(network.NodeID(i), strategy.New(g))
+		}
 	}
 	maxCSN := cfg.Eval.MaxCSN()
-	e.csn = make([]*game.Player, maxCSN)
-	for i := range e.csn {
-		e.csn[i] = game.NewSelfish(network.NodeID(cfg.PopulationSize + i))
+	if cap(e.csn) < maxCSN {
+		grown := make([]*game.Player, maxCSN)
+		copy(grown, e.csn)
+		e.csn = grown
+	}
+	e.csn = e.csn[:maxCSN]
+	for i := 0; i < maxCSN; i++ {
+		id := network.NodeID(n + i)
+		if p := e.csn[i]; p != nil {
+			p.ID = id
+			p.Type = game.Selfish
+			p.Adv = game.AdvNone
+			p.Strategy = strategy.AllDiscard()
+			p.ResetForGeneration()
+		} else {
+			e.csn[i] = game.NewSelfish(id)
+		}
 	}
 	if cfg.Dynamics != nil && cfg.Dynamics.Enabled() {
 		// The perturbation stream is split from the root seed through a
@@ -229,7 +313,7 @@ func New(cfg Config) (*Engine, error) {
 		ids := cfg.PopulationSize + maxCSN + cfg.Dynamics.AdversaryCount()
 		dyn, err := dynamics.NewModel(*cfg.Dynamics, rng.New(cfg.Seed).Split(), ids, alpha)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		e.dyn = dyn
 		e.byz = dyn.NewAdversaries(network.NodeID(cfg.PopulationSize + maxCSN))
@@ -246,7 +330,7 @@ func New(cfg Config) (*Engine, error) {
 		p.Rep.EnsureSize(len(e.registry))
 		p.Rep.SetTable(table)
 	}
-	return e, nil
+	return nil
 }
 
 // NewResult returns a Result with series storage sized for the given
@@ -263,15 +347,17 @@ func NewResult(generations, envs int) *Result {
 
 // Record appends one generation's cooperation observables from the
 // collector to the result's series. Environments beyond the result's
-// preallocated width are dropped; missing ones record zero.
+// preallocated width are dropped; missing ones record zero. It reads the
+// collector's environment view directly (no per-call slice), so recording
+// into pre-sized series allocates only on series growth.
 func (r *Result) Record(c *metrics.Collector) {
-	perEnv := c.CooperationPerEnv()
+	envs := c.Environments()
 	r.CoopSeries = append(r.CoopSeries, c.CooperationLevel())
 	r.MeanEnvCoopSeries = append(r.MeanEnvCoopSeries, c.MeanEnvCooperation())
 	for ei := range r.CoopPerEnvSeries {
 		v := 0.0
-		if ei < len(perEnv) {
-			v = perEnv[ei]
+		if ei < len(envs) {
+			v = envs[ei].CooperationLevel()
 		}
 		r.CoopPerEnvSeries[ei] = append(r.CoopPerEnvSeries[ei], v)
 	}
@@ -284,11 +370,17 @@ func (r *Result) Record(c *metrics.Collector) {
 // as the serial loop does; callers that interleave work between generations
 // (the island engine's migration barriers) must not touch the stream.
 func (e *Engine) EvaluateGeneration(collector *metrics.Collector) error {
+	// The installed strategies share the genome vectors (no clone): the
+	// evaluation pass never writes genomes, Reproduce writes only the
+	// opposite arena buffer, and this reinstall runs before that buffer
+	// ever comes around again — so the bits a strategy reads are immutable
+	// for exactly as long as the strategy is installed. Snapshots that
+	// outlive the engine deep-copy (SnapshotStrategies).
 	for i, ind := range e.genomes {
-		e.normals[i].Strategy = strategy.New(ind.Genome.Clone())
+		e.normals[i].Strategy = strategy.New(ind.Genome)
 	}
 	collector.Reset()
-	if err := tournament.EvaluateWithAdversaries(e.normals, e.csn, e.byz, e.registry, &e.cfg.Eval, e.gen, e.r, collector); err != nil {
+	if err := e.es.EvaluateWithAdversaries(e.normals, e.csn, e.byz, e.registry, &e.cfg.Eval, e.gen, e.r, collector); err != nil {
 		return err
 	}
 	// Fitness by eq. 1.
@@ -306,10 +398,11 @@ func (e *Engine) EvaluateGeneration(collector *metrics.Collector) error {
 // identities, and the rewiring walk may shift the route-length landscape
 // for the coming generations.
 func (e *Engine) Reproduce() error {
-	next, err := ga.NextGeneration(e.genomes, &e.cfg.GA, e.r)
+	next, err := ga.NextGenerationInto(e.genomes, &e.cfg.GA, e.r, &e.repro[e.reproParity])
 	if err != nil {
 		return err
 	}
+	e.reproParity = 1 - e.reproParity
 	for i := range e.genomes {
 		if e.cfg.Constraint != nil {
 			e.cfg.Constraint(next[i])
@@ -343,11 +436,13 @@ func (e *Engine) Dynamics() *dynamics.Model { return e.dyn }
 func (e *Engine) Population() []ga.Individual { return e.genomes }
 
 // SnapshotStrategies returns the strategies installed by the most recent
-// EvaluateGeneration, one per individual in population order.
+// EvaluateGeneration, one per individual in population order. Each entry
+// is backed by its own genome copy, so snapshots stay valid after the
+// engine evolves further or is reinitialized for another job.
 func (e *Engine) SnapshotStrategies() []strategy.Strategy {
 	out := make([]strategy.Strategy, len(e.normals))
 	for i, p := range e.normals {
-		out[i] = p.Strategy
+		out[i] = strategy.New(p.Strategy.Genome())
 	}
 	return out
 }

@@ -138,12 +138,26 @@ func sortedByFitness(pop []Individual) []int {
 // bitstring.RandomOnePointCrossover).
 type Crossover func(r *rng.Source, a, b bitstring.Bits) (bitstring.Bits, bitstring.Bits)
 
+// CrossoverInto is the in-place form of Crossover: it writes the two
+// children into the caller-owned vectors c and d instead of allocating
+// them. An implementation must realize the same operator as the paired
+// Crossover with the same draw contract, so that the allocating and the
+// arena reproduction paths replay identical streams.
+type CrossoverInto func(r *rng.Source, a, b, c, d bitstring.Bits)
+
 // Config holds the reproduction parameters of §5.
 type Config struct {
 	Selector      Selector
 	Crossover     Crossover
 	CrossoverProb float64 // paper: 0.9
 	MutationProb  float64 // per-bit flip probability; paper: 0.001
+
+	// CrossoverInto, when non-nil, lets NextGenerationInto run the
+	// crossover without allocating children. It must be the in-place form
+	// of Crossover; when nil, the arena path falls back to Crossover and
+	// copies the kept child (correct for any custom operator, two child
+	// allocations per crossed slot).
+	CrossoverInto CrossoverInto
 	// Elitism copies the fittest Elitism individuals unchanged into the
 	// next generation before filling the rest by selection. The paper
 	// uses none (0); provided for ablations and extensions.
@@ -157,6 +171,7 @@ func PaperConfig() Config {
 	return Config{
 		Selector:      TournamentSelector{Size: 2},
 		Crossover:     bitstring.RandomOnePointCrossover,
+		CrossoverInto: bitstring.RandomOnePointCrossoverInto,
 		CrossoverProb: 0.9,
 		MutationProb:  0.001,
 	}
@@ -182,18 +197,63 @@ func (c *Config) Validate() error {
 	return nil
 }
 
+// Buffers is the reusable offspring arena of NextGenerationInto: the
+// next-generation genome vectors plus the spare child of each crossover
+// (the one the scheme discards). A warm Buffers makes reproduction
+// allocation-free; the zero value is ready to use and warms up on the
+// first call. Buffers must not be shared between concurrent reproducers,
+// and its vectors must never alias the population being reproduced — the
+// double-buffering caller (core.Engine) alternates two Buffers for exactly
+// that reason.
+type Buffers struct {
+	next  []bitstring.Bits
+	spare bitstring.Bits
+}
+
+// ensure shapes the arena for n offspring of the given genome length.
+func (b *Buffers) ensure(n, length int) {
+	if cap(b.next) < n {
+		grown := make([]bitstring.Bits, n)
+		copy(grown, b.next)
+		b.next = grown
+	}
+	b.next = b.next[:n]
+	for i := range b.next {
+		if b.next[i].Len() != length {
+			b.next[i] = bitstring.New(length)
+		}
+	}
+	if b.spare.Len() != length {
+		b.spare = bitstring.New(length)
+	}
+}
+
 // NextGeneration produces len(pop) offspring genomes by the paper's §5
 // scheme: for each slot, select a pair of parents, apply crossover with
 // CrossoverProb (otherwise copy), keep one of the two children uniformly
-// at random, then mutate it bit-wise.
+// at random, then mutate it bit-wise. The returned genomes are freshly
+// allocated and independent of the population.
 func NextGeneration(pop []Individual, cfg *Config, r *rng.Source) ([]bitstring.Bits, error) {
+	return NextGenerationInto(pop, cfg, r, &Buffers{})
+}
+
+// NextGenerationInto is NextGeneration writing the offspring into the
+// given arena: it consumes the identical draw sequence and produces
+// bit-identical genomes, but reuses buf's vectors, so a warm arena makes
+// the whole reproduction step allocation-free (when cfg.CrossoverInto is
+// set and Elitism is 0; elitism pays one index-slice allocation per call).
+// The returned slice and its genomes are owned by buf and overwritten by
+// the next call with the same arena; callers that retain them across calls
+// must alternate two Buffers (double-buffering) or clone.
+func NextGenerationInto(pop []Individual, cfg *Config, r *rng.Source, buf *Buffers) ([]bitstring.Bits, error) {
 	if len(pop) == 0 {
 		return nil, fmt.Errorf("ga: empty population")
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	next := make([]bitstring.Bits, len(pop))
+	buf.ensure(len(pop), pop[0].Genome.Len())
+	next := buf.next
 	start := 0
 	if cfg.Elitism > 0 {
 		elite := cfg.Elitism
@@ -202,25 +262,39 @@ func NextGeneration(pop []Individual, cfg *Config, r *rng.Source) ([]bitstring.B
 		}
 		order := sortedByFitness(pop)
 		for i := 0; i < elite; i++ {
-			next[i] = pop[order[i]].Genome.Clone()
+			next[i].CopyFrom(pop[order[i]].Genome)
 		}
 		start = elite
 	}
 	for i := start; i < len(next); i++ {
 		pa := pop[cfg.Selector.Select(pop, r)].Genome
 		pb := pop[cfg.Selector.Select(pop, r)].Genome
-		var c1, c2 bitstring.Bits
+		// Draw order is pinned: the crossover's cut draw (if any), then
+		// the child coin, then the mutation scan — identical whether the
+		// children land in the arena or in fresh vectors.
 		if r.Bool(cfg.CrossoverProb) {
-			c1, c2 = cfg.Crossover(r, pa, pb)
+			if cfg.CrossoverInto != nil {
+				cfg.CrossoverInto(r, pa, pb, next[i], buf.spare)
+				if r.Bool(0.5) {
+					// The second child is kept: swap the vector headers so
+					// it sits in the slot and the first becomes the spare.
+					next[i], buf.spare = buf.spare, next[i]
+				}
+			} else {
+				c1, c2 := cfg.Crossover(r, pa, pb)
+				if r.Bool(0.5) {
+					c1 = c2
+				}
+				next[i].CopyFrom(c1)
+			}
 		} else {
-			c1, c2 = pa.Clone(), pb.Clone()
+			src := pa
+			if r.Bool(0.5) {
+				src = pb
+			}
+			next[i].CopyFrom(src)
 		}
-		child := c1
-		if r.Bool(0.5) {
-			child = c2
-		}
-		child.MutateFlip(r, cfg.MutationProb)
-		next[i] = child
+		next[i].MutateFlip(r, cfg.MutationProb)
 	}
 	return next, nil
 }

@@ -155,7 +155,20 @@ type Config struct {
 	// a network with no reputation system, where selfishness goes
 	// unnoticed. Ablation use only.
 	BlindDecisions bool
+
+	// tablesSynced promises that every player deciding under this config
+	// already has TrustTable installed in its store, letting Decide skip
+	// its per-decision table compare. Only a driver that syncs all
+	// participants itself (tournament.PlayWith does, once per tournament)
+	// may set it, via MarkTablesSynced.
+	tablesSynced bool
 }
+
+// MarkTablesSynced records that the caller has installed cfg.TrustTable
+// into the reputation store of every player that will decide under this
+// config, so per-decision re-sync checks can be skipped. Callers that
+// cannot guarantee this for the config's whole lifetime must not call it.
+func (c *Config) MarkTablesSynced() { c.tablesSynced = true }
 
 // DefaultConfig returns the paper's configuration.
 func DefaultConfig() Config {
@@ -259,7 +272,7 @@ func (p *Player) Decide(src network.NodeID, cfg *Config) (strategy.Decision, str
 	if cfg.BlindDecisions {
 		return p.Strategy.DecideUnknown(), cfg.UnknownTrust
 	}
-	if cfg.TrustTable != p.Rep.TrustTable() {
+	if !cfg.tablesSynced && cfg.TrustTable != p.Rep.TrustTable() {
 		p.Rep.SetTable(cfg.TrustTable)
 	}
 	tl, act, known := p.Rep.Evaluate(src, cfg.ActivityBand)

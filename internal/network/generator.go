@@ -16,20 +16,23 @@ import (
 // per-game allocation count flat) and is not safe for concurrent use; each
 // tournament goroutine owns one.
 //
-// The intermediate pool (participants minus src and dst, order-preserving)
-// is never materialized: reads go through an epoch-stamped overlay where
-// only the handful of indices a path's partial Fisher–Yates shuffle has
-// touched hold explicit values and every other index maps straight into
-// the participants slice. Bumping the epoch resets the overlay in O(1),
-// which replaces both the per-game pool build and the per-path pool copy
-// of the naive implementation.
+// The intermediate pool of each game — participants minus src and dst,
+// order-preserving — is never materialized: reads go straight to the
+// participants slice through a branchless skip mapping over the two
+// excluded positions. A partial Fisher–Yates of k steps displaces at most
+// k pool entries, so the shuffle state lives in a k-entry (index, value)
+// overlay that a path resets by zeroing its length; participants is never
+// touched. This replaces both the epoch-stamped overlay closure (per-read
+// indirect call) and the per-game pool copy (three-chunk memmove) that
+// earlier versions paid for: path lengths cap at MaxHops, so the overlay
+// scans a handful of L1-resident entries where those paid a call or a
+// memmove.
 type Generator struct {
 	mode PathMode
 
-	// scratch: the shuffle overlay and the returned paths
-	vals  []NodeID
-	stamp []uint32
-	epoch uint32
+	// scratch: the shuffle-displacement overlay and the returned paths
+	oIdx  []int32
+	oVal  []NodeID
 	paths []Path
 
 	// lastSrcPos remembers where the previous call's source sat in the
@@ -81,7 +84,11 @@ func (g *Generator) Candidates(r *rng.Source, src NodeID, participants []NodeID)
 	// index arithmetic — equivalent to sampling the order-preserving
 	// "everyone but src" list without materializing it.
 	srcPos := -1
-	if guess := (g.lastSrcPos + 1) % n; guess >= 0 && participants[guess] == src {
+	guess := g.lastSrcPos + 1
+	if guess >= n {
+		guess = 0
+	}
+	if participants[guess] == src {
 		srcPos = guess
 	} else {
 		for i, id := range participants {
@@ -102,11 +109,15 @@ func (g *Generator) Candidates(r *rng.Source, src NodeID, participants []NodeID)
 	}
 	dst := participants[dstPos]
 
-	// Virtual intermediate pool: everyone except src and dst, in
-	// participants order. p1 < p2 are the excluded positions; a pool index
-	// below p1 maps to itself, one below p2-1 skips p1, the rest skip
-	// both. With src absent (callers shouldn't, but the old behavior is
-	// preserved) only dst is excluded and p2 sits past the end.
+	// The virtual intermediate pool is everyone except src and dst in
+	// participants order: virtual index v holds participants[skip2(v)],
+	// where skip2 jumps over the excluded positions p1 < p2. The partial
+	// Fisher–Yates below acts on virtual indices with its displacements
+	// kept in the (oIdx, oVal) overlay, so its draws and sampled
+	// intermediates are identical to shuffling a materialized copy of the
+	// pool — without building or mutating anything of pool size. With src
+	// absent (callers shouldn't, but the old behavior is preserved) only
+	// dst is excluded and p2 = n sits beyond every mapped index.
 	p1, p2 := srcPos, dstPos
 	if p1 > p2 {
 		p1, p2 = p2, p1
@@ -116,26 +127,13 @@ func (g *Generator) Candidates(r *rng.Source, src NodeID, participants []NodeID)
 		p1, p2 = dstPos, n
 		poolLen = n - 1
 	}
-	if len(g.stamp) < n {
-		g.vals = make([]NodeID, n)
-		g.stamp = make([]uint32, n)
-		g.epoch = 0
-	}
-	pool := func(i int) NodeID {
-		if g.stamp[i] == g.epoch {
-			return g.vals[i]
-		}
-		j := i
-		if j >= p1 {
-			j++
-		}
-		if j >= p2 {
-			j++
-		}
-		return participants[j]
-	}
 
 	k := hops - 1
+	if cap(g.oIdx) < k {
+		g.oIdx = make([]int32, k+8)
+		g.oVal = make([]NodeID, k+8)
+	}
+	oIdx, oVal := g.oIdx, g.oVal
 	if cap(g.paths) < count {
 		g.paths = make([]Path, count)
 	}
@@ -146,24 +144,58 @@ func (g *Generator) Candidates(r *rng.Source, src NodeID, participants []NodeID)
 			inter = make([]NodeID, k)
 		}
 		inter = inter[:k]
-		// Fresh overlay per path: identical draws and samples to running
-		// the partial Fisher–Yates shuffle on a fresh pool copy.
-		g.epoch++
-		if g.epoch == 0 { // wrapped: stale stamps could alias; hard-reset
-			clear(g.stamp)
-			g.epoch = 1
-		}
+		// Partial Fisher–Yates on the virtual pool. Step x of the classic
+		// in-place form swaps pool[x] and pool[j] and selects the new
+		// pool[x]; position x is never read after step x, so only the
+		// value parked at j needs recording. The overlay holds those
+		// parked values, newest last; reads scan it backwards (a repeated
+		// j must see the latest parking) and fall through to the pristine
+		// pool. At most k ≤ MaxHops−1 entries, so the scan stays in L1.
+		m := 0
 		for x := 0; x < k; x++ {
 			j := x + r.Intn(poolLen-x)
-			vx, vj := pool(x), pool(j)
-			g.vals[x], g.stamp[x] = vj, g.epoch
-			g.vals[j], g.stamp[j] = vx, g.epoch
+			vj := NodeID(0)
+			for t := m - 1; ; t-- {
+				if t < 0 {
+					vj = participants[skip2(j, p1, p2)]
+					break
+				}
+				if oIdx[t] == int32(j) {
+					vj = oVal[t]
+					break
+				}
+			}
+			if j != x {
+				vx := NodeID(0)
+				for t := m - 1; ; t-- {
+					if t < 0 {
+						vx = participants[skip2(x, p1, p2)]
+						break
+					}
+					if oIdx[t] == int32(x) {
+						vx = oVal[t]
+						break
+					}
+				}
+				oIdx[m], oVal[m] = int32(j), vx
+				m++
+			}
 			inter[x] = vj
 		}
 		paths[i] = Path{Src: src, Dst: dst, Intermediates: inter}
 	}
 	g.paths = paths
 	return paths
+}
+
+// skip2 maps a virtual intermediate-pool index to its participants index
+// by skipping the two excluded positions p1 < p2 (p2 may sit past the
+// slice to disable the second skip). Branchless on purpose: v comes from
+// a uniform draw, so compares against p1/p2 are unpredictable as
+// branches.
+func skip2(v, p1, p2 int) int {
+	v += int(uint64(int64(p1-v-1)) >> 63)
+	return v + int(uint64(int64(p2-v-1))>>63)
 }
 
 // UnknownRate is the paper's default forwarding rate assumed for nodes the
@@ -204,6 +236,33 @@ func SelectBest(r *rng.Source, candidates []Path, rates []float64) int {
 			bestIdx, bestRating, ties = i, rating, 1
 		case rating == bestRating:
 			// Reservoir-style uniform tie break.
+			ties++
+			if r.Intn(ties) == 0 {
+				bestIdx = i
+			}
+		}
+	}
+	return bestIdx
+}
+
+// SelectBestRated is SelectBest over precomputed ratings (one per
+// candidate, e.g. from trust.Store.RatePaths): the scan order, the
+// comparisons, and the tie-break draws are identical, so for equal
+// ratings it returns the same index as SelectBest and consumes the same
+// random sequence. It panics on an empty rating set.
+func SelectBestRated(r *rng.Source, ratings []float64) int {
+	if len(ratings) == 0 {
+		panic("network: SelectBestRated with no candidates")
+	}
+	bestIdx := 0
+	bestRating := ratings[0]
+	ties := 1
+	for i := 1; i < len(ratings); i++ {
+		rating := ratings[i]
+		switch {
+		case rating > bestRating:
+			bestIdx, bestRating, ties = i, rating, 1
+		case rating == bestRating:
 			ties++
 			if r.Intn(ties) == 0 {
 				bestIdx = i

@@ -1,6 +1,9 @@
 package rng
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Categorical is a fixed discrete distribution over the outcomes
 // 0..len(weights)-1. Construction validates and normalizes the weights
@@ -9,7 +12,18 @@ import "fmt"
 // A Categorical is immutable after construction and therefore safe to
 // share across goroutines (each goroutine still needs its own Source).
 type Categorical struct {
-	cum []float64 // strictly increasing, cum[len-1] == total
+	cum []float64 // non-decreasing, cum[len-1] == total
+
+	// lut is a 256-bucket guess table over [0, total): bucket b holds the
+	// outcome the linear scan would pick for u near total·b/256. Sample
+	// verifies the guess against cum before trusting it (two compares
+	// that restate the scan's invariant), so a boundary bucket or a
+	// rounding slip in the bucket index can never change an outcome —
+	// only send it down the scan fallback. Flat tables hit the guess on
+	// nearly every draw, turning the sample into a multiply, a byte load
+	// and two predictable compares.
+	lut   [256]uint8
+	scale float64 // 256 / total
 }
 
 // NewCategorical builds a categorical distribution from non-negative
@@ -30,7 +44,16 @@ func NewCategorical(weights []float64) (*Categorical, error) {
 	if total <= 0 {
 		return nil, fmt.Errorf("rng: categorical weights sum to zero")
 	}
-	return &Categorical{cum: cum}, nil
+	c := &Categorical{cum: cum, scale: 256 / total}
+	for b := range c.lut {
+		// Seed each bucket with the scan's answer for the bucket's
+		// midpoint. An outcome index beyond uint8 stays 0; Sample's
+		// verification rejects any wrong guess, so this is purely a hint.
+		if idx := c.scan(total * (float64(b) + 0.5) / 256); idx < 256 {
+			c.lut[b] = uint8(idx)
+		}
+	}
+	return c, nil
 }
 
 // MustCategorical is NewCategorical that panics on invalid weights. Use it
@@ -55,24 +78,60 @@ func (c *Categorical) Prob(i int) float64 {
 	return (c.cum[i] - c.cum[i-1]) / total
 }
 
-// Sample draws one outcome index according to the weights.
+// Sample draws one outcome index according to the weights. The draw
+// consumes exactly one engine step and decides identically to
+// s.Float64()*total fed to the linear scan.
 func (c *Categorical) Sample(s *Source) int {
-	total := c.cum[len(c.cum)-1]
-	u := s.Float64() * total
-	// First index whose cumulative weight strictly exceeds u. Zero-weight
-	// outcomes have cum[i] == cum[i-1] and can never be selected (not even
-	// at u == 0, which Float64 can return). A linear scan beats binary
-	// search at the handful of outcomes these tables have (and sits on a
-	// hot path: two draws per generated game).
-	i := 0
-	for i < len(c.cum) && c.cum[i] <= u {
-		i++
+	// The xoshiro step is written out rather than calling Float64: Sample
+	// is itself too large to inline, so the engine call inside Float64
+	// would be a second call level on a two-draws-per-game hot path. The
+	// state update is identical to Uint64's (see Uint64n for the same
+	// pattern), so interleaving Sample with other draws replays the same
+	// stream.
+	result := bits.RotateLeft64(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = bits.RotateLeft64(s.s[3], 45)
+	cum := c.cum
+	total := cum[len(cum)-1]
+	u := float64(result>>11) / (1 << 53) * total
+	// Guess the outcome from the bucket table, then verify it restates
+	// the scan's invariant — cum[o-1] ≤ u < cum[o], i.e. exactly "o is
+	// the first index whose cumulative weight strictly exceeds u". A
+	// verified guess is therefore bit-identical to the scan below; a miss
+	// (boundary bucket, u ≥ total edge case, outcome beyond the uint8
+	// hint) falls back to it. This sits on a hot path — two draws per
+	// generated game — and the guess replaces the scan's unpredictable
+	// exit branch with two compares that almost always pass.
+	b := int(u * c.scale)
+	if b > 255 {
+		b = 255
 	}
-	if i == len(c.cum) { // u landed exactly on the total; take the last positive-weight outcome
-		i--
-		for i > 0 && c.cum[i] == c.cum[i-1] {
-			i--
+	if o := int(c.lut[b]); o < len(cum) && u < cum[o] && (o == 0 || cum[o-1] <= u) {
+		return o
+	}
+	return c.scan(u)
+}
+
+// scan is the reference linear scan Sample's guess table is verified
+// against: the first index whose cumulative weight strictly exceeds u.
+// Zero-weight outcomes have cum[i] == cum[i-1] and can never be selected
+// (not even at u == 0, which Float64 can return).
+func (c *Categorical) scan(u float64) int {
+	cum := c.cum
+	for i, ci := range cum {
+		if u < ci {
+			return i
 		}
+	}
+	// u landed exactly on the total; take the last positive-weight outcome.
+	i := len(cum) - 1
+	for i > 0 && cum[i] == cum[i-1] {
+		i--
 	}
 	return i
 }

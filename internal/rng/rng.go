@@ -91,11 +91,26 @@ func (s *Source) Intn(n int) int {
 
 // Uint64n returns a uniformly distributed uint64 in [0, n) using Lemire's
 // nearly-divisionless method. It panics if n == 0.
+//
+// The xoshiro step is written out inline rather than calling Uint64: the
+// engine update costs one node more than the compiler's inline budget, so
+// a Uint64 call never inlines and every bounded draw would pay two call
+// levels from hot loops (Intn inlines into its caller but this function
+// does not). The state update is identical to Uint64's, so interleaving
+// Uint64n with any other draw replays the same stream.
 func (s *Source) Uint64n(n uint64) uint64 {
 	if n == 0 {
 		panic("rng: Uint64n called with n == 0")
 	}
-	hi, lo := bits.Mul64(s.Uint64(), n)
+	result := bits.RotateLeft64(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = bits.RotateLeft64(s.s[3], 45)
+	hi, lo := bits.Mul64(result, n)
 	if lo < n {
 		threshold := -n % n
 		for lo < threshold {
@@ -130,6 +145,37 @@ func (s *Source) Bool(p float64) bool {
 		return true
 	}
 	return s.Float64() < p
+}
+
+// BitMask draws width (1–64) consecutive Uint64 values and returns a mask
+// whose bit j is set iff draw j satisfies draw>>11 < threshold. With
+// threshold = ceil(p·2⁵³) for 0 < p < 1 this is exactly width consecutive
+// Bool(p) draws — float64(u>>11)·2⁻⁵³ < p and u>>11 < ceil(p·2⁵³) decide
+// identically because both sides of each comparison are exact — packed
+// into one call so the generator state stays in registers instead of
+// round-tripping through memory on every draw. The stream advances exactly
+// width steps; interleaving BitMask and Uint64 calls replays the same
+// sequence as Uint64 alone.
+func (s *Source) BitMask(width int, threshold uint64) uint64 {
+	s0, s1, s2, s3 := s.s[0], s.s[1], s.s[2], s.s[3]
+	var mask uint64
+	for j := 0; j < width; j++ {
+		result := bits.RotateLeft64(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+		// Branchless decision: both operands are < 2⁵³, so the uint64
+		// subtraction borrows — sign bit set — exactly when draw < threshold.
+		// The engine's serial update chain is the latency floor here; a
+		// manual two-step unroll measured no faster.
+		mask |= (result>>11 - threshold) >> 63 << uint(j)
+	}
+	s.s[0], s.s[1], s.s[2], s.s[3] = s0, s1, s2, s3
+	return mask
 }
 
 // Shuffle randomizes the order of n elements using the Fisher-Yates

@@ -313,3 +313,25 @@ func BenchmarkSampleWithoutReplacement(b *testing.B) {
 		scratch = s.SampleWithoutReplacement(dst, candidates, scratch)
 	}
 }
+
+// BitMask must replay exactly the Bool(p) sequence with
+// threshold = ceil(p·2⁵³): same decisions, same stream advancement, for
+// every width and a spread of probabilities including extremes.
+func TestBitMaskMatchesBoolSequence(t *testing.T) {
+	for _, p := range []float64{1e-9, 0.001, 0.1, 0.5, 0.9375, 0.999999} {
+		threshold := uint64(math.Ceil(p * (1 << 53)))
+		for width := 1; width <= 64; width++ {
+			seed := uint64(width)*1000 + uint64(p*1e6)
+			a, b := New(seed), New(seed)
+			mask := a.BitMask(width, threshold)
+			for j := 0; j < width; j++ {
+				if want := b.Bool(p); want != (mask>>uint(j)&1 == 1) {
+					t.Fatalf("p=%v width=%d: bit %d diverges from Bool sequence", p, width, j)
+				}
+			}
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("p=%v width=%d: stream advancement differs", p, width)
+			}
+		}
+	}
+}

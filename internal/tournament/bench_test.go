@@ -74,17 +74,20 @@ func TestTournamentRoundZeroAllocs(t *testing.T) {
 
 // BenchmarkEvaluate measures one full Fig 3 evaluation pass (TE1–TE4,
 // tournament size 50, L=2) at 30 rounds per tournament — the hot loop of
-// every generation. The dense-store acceptance bar is ≥2× ns/game over the
-// map-based seed with ~0 allocs/game.
+// every generation — through a warm EvalState, exactly as the engine runs
+// it. The dense-store acceptance bar is ≥2× ns/game over the map-based
+// seed with ~0 allocs/game.
 func BenchmarkEvaluate(b *testing.B) {
 	normals, csn, registry := benchPopulation(1)
 	cfg := benchEvalConfig(30)
 	gen := network.NewGenerator(cfg.Tournament.Mode)
 
-	// Count games once so ns/game can be derived from the timed loop.
+	// Count games once so ns/game can be derived from the timed loop; this
+	// pass also warms the EvalState.
+	var es EvalState
 	var counter gameCounter
 	r := rng.New(2)
-	if err := Evaluate(normals, csn, registry, cfg, gen, r, &counter); err != nil {
+	if err := es.Evaluate(normals, csn, registry, cfg, gen, r, &counter); err != nil {
 		b.Fatal(err)
 	}
 
@@ -92,12 +95,38 @@ func BenchmarkEvaluate(b *testing.B) {
 	b.ResetTimer()
 	r = rng.New(2)
 	for i := 0; i < b.N; i++ {
-		if err := Evaluate(normals, csn, registry, cfg, gen, r, nil); err != nil {
+		if err := es.Evaluate(normals, csn, registry, cfg, gen, r, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.StopTimer()
 	if counter.games > 0 {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(counter.games), "ns/game")
+	}
+}
+
+// TestEvaluateZeroAllocs pins the batched-evaluation guarantee: a full
+// Fig 3 evaluation pass through a warm EvalState — route generation, path
+// rating, decisions, payoffs, reputation, play bookkeeping — performs zero
+// heap allocations.
+func TestEvaluateZeroAllocs(t *testing.T) {
+	normals, csn, registry := benchPopulation(7)
+	cfg := benchEvalConfig(5)
+	gen := network.NewGenerator(cfg.Tournament.Mode)
+	var es EvalState
+	r := rng.New(8)
+	// Warm: grow the EvalState, generator scratch, and every dense store.
+	for i := 0; i < 3; i++ {
+		if err := es.Evaluate(normals, csn, registry, cfg, gen, r, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := es.Evaluate(normals, csn, registry, cfg, gen, r, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm evaluation pass allocates %v times, want 0", allocs)
 	}
 }

@@ -52,6 +52,23 @@ func (c *EvalConfig) MaxCSN() int {
 	return max
 }
 
+// EvalState holds the reusable working set of an evaluation pass: play
+// counters, the played/unplayed partition, sampling scratch, the
+// participant roster, and the tournament Scratch. A zero EvalState is
+// ready to use; one warmed by a first pass makes every later pass with
+// the same shapes allocation-free, which is why the engine keeps one
+// EvalState for the lifetime of a run instead of calling the package-level
+// functions. It must not be shared between goroutines.
+type EvalState struct {
+	plays        []int
+	unplayed     []int
+	played       []int
+	pick         []int
+	scratch      []int
+	participants []*game.Player
+	sc           Scratch
+}
+
 // Evaluate runs the Fig 3 evaluation scheme for one generation:
 //
 //  1. Clear reputation memory and payoff accounts of every player.
@@ -68,7 +85,8 @@ func (c *EvalConfig) MaxCSN() int {
 // supplies candidate routes (normally a network.Generator for the
 // evaluation's path mode); rec may be nil.
 func Evaluate(normals, csn []*game.Player, registry []*game.Player, cfg *EvalConfig, provider PathProvider, r *rng.Source, rec Recorder) error {
-	return EvaluateWithAdversaries(normals, csn, nil, registry, cfg, provider, r, rec)
+	var es EvalState
+	return es.EvaluateWithAdversaries(normals, csn, nil, registry, cfg, provider, r, rec)
 }
 
 // EvaluateWithAdversaries is Evaluate with an additional cohort of
@@ -77,6 +95,20 @@ func Evaluate(normals, csn []*game.Player, registry []*game.Player, cfg *EvalCon
 // environment, shrinking the normal seats to T − Si − len(byz). With an
 // empty cohort it is Evaluate, bit for bit.
 func EvaluateWithAdversaries(normals, csn, byz []*game.Player, registry []*game.Player, cfg *EvalConfig, provider PathProvider, r *rng.Source, rec Recorder) error {
+	var es EvalState
+	return es.EvaluateWithAdversaries(normals, csn, byz, registry, cfg, provider, r, rec)
+}
+
+// Evaluate is the state-reusing form of the package-level Evaluate.
+func (es *EvalState) Evaluate(normals, csn []*game.Player, registry []*game.Player, cfg *EvalConfig, provider PathProvider, r *rng.Source, rec Recorder) error {
+	return es.EvaluateWithAdversaries(normals, csn, nil, registry, cfg, provider, r, rec)
+}
+
+// EvaluateWithAdversaries is the state-reusing form of the package-level
+// EvaluateWithAdversaries: identical draws and results, but all working
+// buffers come from (and return to) the EvalState, so a warm state runs
+// the whole pass without heap allocation.
+func (es *EvalState) EvaluateWithAdversaries(normals, csn, byz []*game.Player, registry []*game.Player, cfg *EvalConfig, provider PathProvider, r *rng.Source, rec Recorder) error {
 	if err := cfg.Validate(len(normals)); err != nil {
 		return err
 	}
@@ -106,12 +138,19 @@ func EvaluateWithAdversaries(normals, csn, byz []*game.Player, registry []*game.
 		p.ResetForGeneration()
 	}
 
-	plays := make([]int, len(normals))
-	unplayed := make([]int, 0, len(normals))
-	played := make([]int, 0, len(normals))
-	participants := make([]*game.Player, 0, cfg.TournamentSize)
-	var pick, scratch []int
-	var sc Scratch // shared per-tournament buffers for the whole pass
+	if cap(es.plays) < len(normals) {
+		es.plays = make([]int, len(normals))
+		es.unplayed = make([]int, 0, len(normals))
+		es.played = make([]int, 0, len(normals))
+	}
+	if cap(es.participants) < cfg.TournamentSize {
+		es.participants = make([]*game.Player, 0, cfg.TournamentSize)
+	}
+	plays := es.plays[:len(normals)]
+	unplayed, played := es.unplayed, es.played
+	participants := es.participants
+	pick, scratch := es.pick, es.scratch
+	sc := &es.sc // shared per-tournament buffers for the whole pass
 
 	for envIdx, env := range cfg.Environments {
 		if rec != nil {
@@ -174,9 +213,13 @@ func EvaluateWithAdversaries(normals, csn, byz []*game.Player, registry []*game.
 			}
 			participants = append(participants, csn[:env.CSN]...)
 			participants = append(participants, byz...)
-			PlayWith(participants, registry, &cfg.Tournament, provider, r, rec, &sc)
+			PlayWith(participants, registry, &cfg.Tournament, provider, r, rec, sc)
 		}
 	}
+	// Return the (possibly grown) buffers to the state for the next pass.
+	es.unplayed, es.played = unplayed, played
+	es.pick, es.scratch = pick, scratch
+	es.participants = participants[:0]
 	return nil
 }
 

@@ -107,7 +107,8 @@ type Recorder interface {
 // An empty return means the source currently has no route to anyone (e.g.
 // a partitioned geometric network); the tournament then skips that
 // source's game for the round. All returned candidates must share the
-// same source and destination.
+// same source and destination. Implementations must treat the
+// participants slice as read-only.
 type PathProvider interface {
 	Candidates(r *rng.Source, src network.NodeID, participants []network.NodeID) []network.Path
 }
@@ -120,6 +121,7 @@ type Scratch struct {
 	ids     []network.NodeID
 	inters  []*game.Player
 	normals []*game.Player
+	ratings []float64
 }
 
 // Play runs one tournament over the given participants: cfg.Rounds rounds,
@@ -139,9 +141,13 @@ func PlayWith(participants []*game.Player, registry []*game.Player, cfg *Config,
 	for _, p := range participants {
 		ids = append(ids, p.ID)
 		// Dense stores sized to the registry: every peer lookup from here
-		// on is a bounds-checked index and Observe never grows.
+		// on is a bounds-checked index and Observe never grows. Installing
+		// the trust table here (a no-op when unchanged) lets every Decide
+		// of the tournament skip its per-decision table compare.
 		p.Rep.EnsureSize(len(registry))
+		p.Rep.SetTable(cfg.Game.TrustTable)
 	}
+	cfg.Game.MarkTablesSynced()
 	sc.ids = ids
 	ro, _ := rec.(RoundObserver)
 	for round := 0; round < cfg.Rounds; round++ {
@@ -160,11 +166,15 @@ func PlayWith(participants []*game.Player, registry []*game.Player, cfg *Config,
 			if cfg.PathChoice == RandomPath {
 				best = r.Intn(len(paths))
 			} else if len(paths) > 1 {
-				// A single candidate needs no rating (SelectBest would
+				// A single candidate needs no rating (selection would
 				// return 0 without consuming randomness), which skips the
-				// rate-view flush for the majority of games — Table 3
-				// yields one route 50–80% of the time.
-				best = network.SelectBest(r, paths, src.Rep.PathRates())
+				// rate refresh for the majority of games — Table 3 yields
+				// one route 50–80% of the time. Multi-candidate games
+				// rate in one fused walk that refreshes only the entries
+				// the ratings read (RatePaths) instead of flushing the
+				// whole store.
+				sc.ratings = src.Rep.RatePaths(paths, sc.ratings)
+				best = network.SelectBestRated(r, sc.ratings)
 			}
 			path := paths[best]
 			inters := sc.inters[:0]

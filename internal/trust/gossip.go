@@ -54,9 +54,9 @@ func (s *Store) merge(self network.NodeID, src *Store, minRate, weight float64, 
 		if network.NodeID(id) == self || rec.requests == 0 {
 			continue
 		}
-		forwards := rec.forwards
+		forwards := uint64(rec.forwards)
 		if invert {
-			forwards = rec.requests - rec.forwards
+			forwards = uint64(rec.requests) - forwards
 		}
 		// Rate from the counters, not the cached view — the cache may be
 		// pending a flush.
@@ -76,12 +76,20 @@ func (s *Store) merge(self network.NodeID, src *Store, minRate, weight float64, 
 		if dst.requests == 0 {
 			s.known++
 		}
-		dst.requests += addReq
-		dst.forwards += addFwd
-		s.forwardsSum += addFwd
-		if !dst.dirty {
-			dst.dirty = true
-			s.dirtyIDs = append(s.dirtyIDs, int32(id))
+		// The only non-unit counter increments in the store: saturate at
+		// the uint32 record ceiling instead of wrapping (unreachable in
+		// any realistic run — see the record doc).
+		newReq := uint64(dst.requests) + addReq
+		newFwd := uint64(dst.forwards) + addFwd
+		if newReq > math.MaxUint32 {
+			newReq = math.MaxUint32
 		}
+		if newFwd > math.MaxUint32 {
+			newFwd = math.MaxUint32
+		}
+		s.forwardsSum += newFwd - uint64(dst.forwards)
+		dst.requests = uint32(newReq)
+		dst.forwards = uint32(newFwd)
+		dst.dirty = true
 	}
 }

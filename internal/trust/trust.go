@@ -34,9 +34,18 @@ import (
 // entry were last derived; readers flush it before use. Keeping the write
 // path to plain integer increments matters because observations outnumber
 // decisions ~k:1 on a k-intermediate path.
+//
+// The counters are uint32, which packs a record into 12 bytes instead of
+// 24 — a game touches O(path²) records spread over every participant's
+// store (Fig 1a: each observer updates each intermediate), so halving the
+// record keeps roughly twice as many stores resident in L2. Counters are
+// per-pair within one generation (reset at every generation boundary),
+// which bounds them around rounds·hops — the paper's tournaments reach
+// ~10⁵, nowhere near the 4.3·10⁹ ceiling. Gossip merges, the only
+// non-unit increments, saturate at the ceiling rather than wrapping.
 type record struct {
-	requests uint64 // ps: packets this node was asked ("sent") to forward
-	forwards uint64 // pf: packets it actually forwarded
+	requests uint32 // ps: packets this node was asked ("sent") to forward
+	forwards uint32 // pf: packets it actually forwarded
 	level    strategy.TrustLevel
 	dirty    bool
 }
@@ -58,10 +67,6 @@ type Store struct {
 	// the §3.1 path rating multiplies per intermediate. It is maintained
 	// in lockstep with rec.
 	rates []float64
-
-	// dirtyIDs lists records whose cached rate/level are pending a flush;
-	// the per-record dirty bit keeps entries unique.
-	dirtyIDs []int32
 
 	// known counts records with requests > 0.
 	known int
@@ -128,7 +133,6 @@ func (s *Store) Reset() {
 	for i := range s.rates {
 		s.rates[i] = network.UnknownRate
 	}
-	s.dirtyIDs = s.dirtyIDs[:0]
 	s.known = 0
 	s.forwardsSum = 0
 }
@@ -148,7 +152,6 @@ func (s *Store) SetTable(t Table) {
 			s.flushRecord(r, i)
 		}
 	}
-	s.dirtyIDs = s.dirtyIDs[:0]
 }
 
 // TrustTable returns the table the cached trust levels are derived from.
@@ -160,22 +163,25 @@ func (s *Store) TrustTable() Table { return s.table }
 // flushed lazily at the next read (Evaluate or PathRates), so a record
 // observed many times between reads pays for one division, not many.
 //
-// The body is split so the steady-state case (record exists and is
-// already dirty — the overwhelming majority inside a tournament, where
-// observations outnumber flushes) inlines into the game loop as a few
-// increments; growth, first contact, and dirty-marking take the slow
-// path.
+// The body is split so the in-range case (the only one a pre-sized
+// tournament store ever sees) inlines into the game loop as a few
+// increments and an unconditional dirty-bit store — marking a record
+// dirty needs no bookkeeping beyond the bit itself, so re-marking an
+// already-dirty record is free and the fast path carries no dirty check.
+// Only growth takes the slow path.
 func (s *Store) Observe(id network.NodeID, forwarded bool) {
 	if int(id) < len(s.rec) {
 		r := &s.rec[id]
-		if r.dirty && r.requests != 0 {
-			r.requests++
-			if forwarded {
-				r.forwards++
-				s.forwardsSum++
-			}
-			return
+		if r.requests == 0 {
+			s.known++
 		}
+		r.requests++
+		r.dirty = true
+		if forwarded {
+			r.forwards++
+			s.forwardsSum++
+		}
+		return
 	}
 	s.observeSlow(id, forwarded)
 }
@@ -194,35 +200,47 @@ func (s *Store) ObservePath(ids []network.NodeID, self network.NodeID, firstDrop
 		forwarded := j != firstDrop
 		if int(id) < len(s.rec) {
 			r := &s.rec[id]
-			if r.dirty && r.requests != 0 {
-				r.requests++
-				if forwarded {
-					r.forwards++
-					s.forwardsSum++
-				}
-				continue
+			if r.requests == 0 {
+				s.known++
 			}
+			r.requests++
+			r.dirty = true
+			if forwarded {
+				r.forwards++
+				s.forwardsSum++
+			}
+			continue
 		}
 		s.observeSlow(id, forwarded)
 	}
 }
 
+// observeSlow is the growth path: the ID is beyond the store, so the
+// store is enlarged first. Pre-sized tournament stores never come here.
 func (s *Store) observeSlow(id network.NodeID, forwarded bool) {
-	if int(id) >= len(s.rec) {
-		s.EnsureSize(int(id) + 1)
-	}
+	s.EnsureSize(int(id) + 1)
 	r := &s.rec[id]
 	if r.requests == 0 {
 		s.known++
 	}
 	r.requests++
+	r.dirty = true
 	if forwarded {
 		r.forwards++
 		s.forwardsSum++
 	}
-	if !r.dirty {
-		r.dirty = true
-		s.dirtyIDs = append(s.dirtyIDs, int32(id))
+}
+
+// settle flushes every dirty record — the compaction point of the
+// lazy-flush scheme. Flushing is a pure function of the counters, so
+// settling at any time changes no observable value. Only cold paths
+// (PathRates, notably) settle; the game loop flushes exactly the records
+// it reads, one at a time, and never scans.
+func (s *Store) settle() {
+	for i := range s.rec {
+		if r := &s.rec[i]; r.dirty {
+			s.flushRecord(r, i)
+		}
 	}
 }
 
@@ -252,9 +270,7 @@ func (s *Store) Forget(id network.NodeID) {
 		return
 	}
 	s.known--
-	s.forwardsSum -= r.forwards
-	// A stale entry for id may remain in dirtyIDs; PathRates skips it
-	// because the dirty bit is cleared here.
+	s.forwardsSum -= uint64(r.forwards)
 	*r = record{}
 	s.rates[id] = network.UnknownRate
 }
@@ -270,7 +286,7 @@ func (s *Store) KnownCount() int { return s.known }
 // Requests returns ps for the node (0 if unknown).
 func (s *Store) Requests(id network.NodeID) uint64 {
 	if int(id) < len(s.rec) {
-		return s.rec[id].requests
+		return uint64(s.rec[id].requests)
 	}
 	return 0
 }
@@ -278,7 +294,7 @@ func (s *Store) Requests(id network.NodeID) uint64 {
 // Forwards returns pf for the node (0 if unknown).
 func (s *Store) Forwards(id network.NodeID) uint64 {
 	if int(id) < len(s.rec) {
-		return s.rec[id].forwards
+		return uint64(s.rec[id].forwards)
 	}
 	return 0
 }
@@ -320,13 +336,59 @@ func (s *Store) KnownNodes() []network.NodeID {
 // store and must not be modified; re-fetch it after further observations
 // rather than retaining it.
 func (s *Store) PathRates() []float64 {
-	for _, id := range s.dirtyIDs {
-		if r := &s.rec[id]; r.dirty {
-			s.flushRecord(r, int(id))
+	s.settle()
+	return s.rates
+}
+
+// RatesForPaths is the route-selection form of PathRates: it returns the
+// dense rate view after refreshing only the entries the given candidate
+// paths' intermediates will actually read, instead of flushing every
+// pending record. The refreshed values are computed by the same expression
+// flushRecord uses, so ratings are bit-identical to rating after a full
+// PathRates flush. The slice is owned by the store and must not be
+// modified or retained.
+func (s *Store) RatesForPaths(paths []network.Path) []float64 {
+	for _, p := range paths {
+		for _, id := range p.Intermediates {
+			if int(id) >= len(s.rec) {
+				continue // unknown to this store; rates in-range read as UnknownRate
+			}
+			if r := &s.rec[id]; r.dirty {
+				s.flushRecord(r, int(id))
+			}
 		}
 	}
-	s.dirtyIDs = s.dirtyIDs[:0]
 	return s.rates
+}
+
+// RatePaths rates every candidate path in one walk: for each path it
+// computes the §3.1 rating — the product over its intermediates of the
+// dense rate view, flushing pending counter changes for exactly the
+// records the product reads — and stores it into ratings, which is grown
+// as needed and returned. The flushes and the multiplication order are
+// identical to calling RatesForPaths followed by network.RatePath per
+// path, so the ratings are bit-identical to that two-walk form; fusing
+// them touches each intermediate's record and rate once instead of twice.
+func (s *Store) RatePaths(paths []network.Path, ratings []float64) []float64 {
+	if cap(ratings) < len(paths) {
+		ratings = make([]float64, len(paths))
+	}
+	ratings = ratings[:len(paths)]
+	for i, p := range paths {
+		rating := 1.0
+		for _, id := range p.Intermediates {
+			f := network.UnknownRate
+			if int(id) < len(s.rec) {
+				if r := &s.rec[id]; r.dirty {
+					s.flushRecord(r, int(id))
+				}
+				f = s.rates[id]
+			}
+			rating *= f
+		}
+		ratings[i] = rating
+	}
+	return ratings
 }
 
 // Evaluate returns the cached trust level and the §3.2 activity level of
@@ -345,7 +407,10 @@ func (s *Store) Evaluate(id network.NodeID, band float64) (strategy.TrustLevel, 
 	if r.dirty {
 		s.flushRecord(r, int(id))
 	}
-	// known(id) implies known > 0, so av is well defined.
+	// known(id) implies known > 0, so av is well defined. The bounds are
+	// recomputed per call: forwardsSum moves with nearly every observation
+	// the store makes, so between two decisions by the same store it has
+	// almost always changed — a cache keyed on it never hits (measured).
 	av := float64(s.forwardsSum) / float64(s.known)
 	srcF := float64(r.forwards)
 	act := strategy.ActivityMedium

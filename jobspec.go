@@ -152,11 +152,16 @@ func (sp EvolveSpec) run(ctx context.Context, s *Session, emit func(Event)) (any
 		emit(Event{Kind: KindChurn, Churn: &ChurnEvent{Gen: gen}})
 	}
 	return runPooled(ctx, s, func() (any, error) {
-		engine, err := core.New(cfg)
+		engine, err := s.acquireEngine(cfg)
 		if err != nil {
 			return nil, err
 		}
-		return engine.RunContext(ctx)
+		res, err := engine.RunContext(ctx)
+		// Park the engine for the next submission even after cancellation:
+		// Reinit resets it completely. The result shares nothing with the
+		// engine's arena (series are per-run, snapshots deep-copied).
+		s.releaseEngine(engine)
+		return res, err
 	})
 }
 

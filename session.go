@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"adhocga/internal/core"
 	"adhocga/internal/runner"
 )
 
@@ -35,6 +36,16 @@ type Session struct {
 	nextID int
 	closed bool
 	wg     sync.WaitGroup
+
+	// Engine arena: finished evolve jobs park their engine here and later
+	// submissions reinitialize it in place (core.Engine.Reinit), so a
+	// session's steady state reuses one working set — population, dense
+	// reputation stores, evaluation scratch — per concurrent job instead
+	// of rebuilding ~1 MB of structure per Submit. Bounded by the pool
+	// size; reuse is bit-invisible (Reinit replays New exactly).
+	engMu        sync.Mutex
+	engines      []*core.Engine
+	engineReuses int
 }
 
 // SessionOption configures NewSession.
@@ -186,6 +197,55 @@ func (s *Session) prune() {
 		kept = append(kept, j)
 	}
 	s.order = kept
+}
+
+// acquireEngine returns an engine initialized for cfg, reusing a parked
+// one when available. The boolean reports whether a parked engine was
+// reused (exposed for observability via EngineReuses; results are
+// identical either way).
+func (s *Session) acquireEngine(cfg core.Config) (*core.Engine, error) {
+	s.engMu.Lock()
+	var eng *core.Engine
+	if n := len(s.engines); n > 0 {
+		eng = s.engines[n-1]
+		s.engines[n-1] = nil
+		s.engines = s.engines[:n-1]
+	}
+	s.engMu.Unlock()
+	if eng != nil {
+		if err := eng.Reinit(cfg); err != nil {
+			// Invalid config: surface it exactly as core.New would, and
+			// don't re-park the half-reset engine.
+			return nil, err
+		}
+		s.engMu.Lock()
+		s.engineReuses++
+		s.engMu.Unlock()
+		return eng, nil
+	}
+	return core.New(cfg)
+}
+
+// releaseEngine parks a finished job's engine for reuse, keeping at most
+// one per pool slot.
+func (s *Session) releaseEngine(eng *core.Engine) {
+	if eng == nil {
+		return
+	}
+	s.engMu.Lock()
+	if len(s.engines) < s.pool.Size() {
+		s.engines = append(s.engines, eng)
+	}
+	s.engMu.Unlock()
+}
+
+// EngineReuses returns how many submitted jobs ran on a reused engine
+// arena instead of building a fresh one — an observability counter for
+// tests and capacity tuning.
+func (s *Session) EngineReuses() int {
+	s.engMu.Lock()
+	defer s.engMu.Unlock()
+	return s.engineReuses
 }
 
 // Job returns the handle of a previously submitted job by ID.

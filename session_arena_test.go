@@ -1,0 +1,72 @@
+package adhocga
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestSessionReusesEngineAcrossSubmits pins the session-scoped engine
+// arena: the second sequential Evolve submission must reuse the first
+// job's parked engine (one recorded reuse) and still produce exactly the
+// result a fresh session produces for the same configuration.
+func TestSessionReusesEngineAcrossSubmits(t *testing.T) {
+	cfgA := smallConfig(3, 41)
+	cfgB := smallConfig(5, 43)
+
+	s := NewSession(WithPoolSize(1))
+	defer s.Close()
+	if _, err := s.Evolve(context.Background(), cfgA); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.EngineReuses(); got != 0 {
+		t.Fatalf("reuses after first submit = %d, want 0", got)
+	}
+	warm, err := s.Evolve(context.Background(), cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.EngineReuses(); got != 1 {
+		t.Fatalf("reuses after second submit = %d, want 1", got)
+	}
+
+	fresh := NewSession(WithPoolSize(1))
+	defer fresh.Close()
+	want, err := fresh.Evolve(context.Background(), cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(warm.CoopSeries, want.CoopSeries) ||
+		!reflect.DeepEqual(warm.MeanEnvCoopSeries, want.MeanEnvCoopSeries) {
+		t.Errorf("reused-engine run diverged from fresh session:\nwarm:  %v\nfresh: %v",
+			warm.CoopSeries, want.CoopSeries)
+	}
+	for i := range want.FinalStrategies {
+		if warm.FinalStrategies[i].Genome().Compact() != want.FinalStrategies[i].Genome().Compact() {
+			t.Fatalf("final strategy %d differs on reused engine", i)
+		}
+	}
+}
+
+// TestSessionEnginePoolBounded: parked engines never exceed the session's
+// pool size, and results from concurrent-capacity submissions stay
+// independent of parking order.
+func TestSessionEnginePoolBounded(t *testing.T) {
+	s := NewSession(WithPoolSize(2))
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := s.Evolve(context.Background(), smallConfig(2, uint64(50+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.engMu.Lock()
+	parked := len(s.engines)
+	s.engMu.Unlock()
+	if parked > s.PoolSize() {
+		t.Errorf("parked engines %d exceed pool size %d", parked, s.PoolSize())
+	}
+	if got := s.EngineReuses(); got != 4 {
+		t.Errorf("reuses = %d, want 4 (every submit after the first)", got)
+	}
+}
