@@ -8,6 +8,7 @@
 //
 //	adhocd                                  # listen on :8547, pool = all cores
 //	adhocd -addr 127.0.0.1:9000 -pool 8 -max-jobs 4 -scale smoke
+//	adhocd -ring 4096 -sub-buffer 128 -block-deadline 2s -keepalive 30s
 //
 // Submit, watch, and cancel with curl:
 //
@@ -16,6 +17,11 @@
 //	curl -s localhost:8547/v1/jobs/job-1
 //	curl -N localhost:8547/v1/jobs/job-1/events
 //	curl -s -X DELETE localhost:8547/v1/jobs/job-1
+//
+// Events also stream over WebSocket (live fan-out for many viewers) at
+// /v1/jobs/{id}/ws; see the README quickstart. The -ring, -sub-buffer,
+// and -block-deadline flags size each job's streaming hub; -keepalive
+// sets the idle SSE/WebSocket ping interval.
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: the listener drains,
 // every running job is cancelled at its next generation barrier, and the
@@ -59,6 +65,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		retain    = fs.Int("retain", 256, "finished jobs kept queryable; older ones are evicted (0 = keep all)")
 		scaleName = fs.String("scale", "default", "default scale for submissions that pin none: smoke, default, or paper")
 		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight HTTP requests")
+		ring      = fs.Int("ring", adhocga.DefaultRingSize, "events each job retains for replay/catch-up (its ring buffer size)")
+		subBuffer = fs.Int("sub-buffer", adhocga.DefaultSubscriberBuffer, "per-subscriber send-channel capacity")
+		blockDL   = fs.Duration("block-deadline", adhocga.DefaultBlockDeadline, "longest a job's producer waits for a slow archival (NDJSON) subscriber before evicting it")
+		keepalive = fs.Duration("keepalive", 15*time.Second, "idle SSE/WebSocket keepalive ping interval")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -75,12 +85,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "adhocd: -max-jobs must be >= 0")
 		return 2
 	}
+	if *ring < 0 || *subBuffer < 0 || *blockDL < 0 || *keepalive < 0 {
+		fmt.Fprintln(stderr, "adhocd: -ring, -sub-buffer, -block-deadline, and -keepalive must be >= 0")
+		return 2
+	}
 
 	session := adhocga.NewSession(
 		adhocga.WithPoolSize(*pool),
 		adhocga.WithMaxConcurrentJobs(*maxJobs),
 		adhocga.WithDefaultScale(sc),
 		adhocga.WithJobRetention(*retain),
+		adhocga.WithHubConfig(adhocga.HubConfig{
+			RingSize:         *ring,
+			SubscriberBuffer: *subBuffer,
+			BlockDeadline:    *blockDL,
+		}),
 	)
 	defer session.Close()
 
@@ -89,7 +108,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	server := &http.Server{Handler: service.New(session, service.Options{DefaultScale: sc})}
+	server := &http.Server{Handler: service.New(session, service.Options{
+		DefaultScale:      sc,
+		KeepaliveInterval: *keepalive,
+	})}
 	fmt.Fprintf(stdout, "adhocd listening on %s (pool %d, max jobs %d, scale %s)\n",
 		ln.Addr(), session.PoolSize(), *maxJobs, sc.Name)
 

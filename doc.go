@@ -13,11 +13,13 @@
 // concurrent-job bound) owns one shared execution pool for its lifetime;
 // every long-running workload is a typed JobSpec submitted with
 // Submit(ctx, spec), returning a Job handle that streams a unified Event
-// sequence (Events), waits (Wait), and cancels cooperatively at
-// generation barriers (Cancel) — so uncancelled runs stay bit-identical
-// to the direct engines, and millions of users' worth of jobs can
-// multiplex one process without oversubscribing it. cmd/adhocd serves
-// exactly this API over HTTP (internal/service).
+// sequence through a bounded fan-out hub (Subscribe with per-subscription
+// backpressure policies, Events as the archival shorthand), waits (Wait),
+// and cancels cooperatively at generation barriers (Cancel) — so
+// uncancelled runs stay bit-identical to the direct engines, and millions
+// of users' worth of jobs can multiplex one process without
+// oversubscribing it. cmd/adhocd serves exactly this API over HTTP,
+// SSE, and WebSocket (internal/service).
 //
 // The workload kinds (each a JobSpec, each with a Session convenience
 // method and a deprecated package-level wrapper over DefaultSession):

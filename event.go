@@ -17,6 +17,8 @@ import (
 // which of the payload pointers is set. Events are JSON-serializable with a
 // deterministic encoding (no timestamps, stable field order), which is what
 // lets the adhocd service stream NDJSON that byte-compares at a fixed seed.
+// Delivery runs through the job's streaming hub (hub.go): a bounded ring
+// plus compacted snapshot fanned out per subscriber, not an unbounded log.
 
 // EventKind tags which payload an Event carries.
 type EventKind string

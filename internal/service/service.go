@@ -13,6 +13,7 @@
 //	GET    /v1/jobs             list all jobs, in submission order
 //	GET    /v1/jobs/{id}        job status (+ per-scenario results when done)
 //	GET    /v1/jobs/{id}/events stream events as NDJSON (or SSE via Accept)
+//	GET    /v1/jobs/{id}/ws     stream events over WebSocket (live fan-out)
 //	DELETE /v1/jobs/{id}        cancel the job cooperatively
 //	GET    /healthz             liveness
 //
@@ -22,21 +23,52 @@
 // the run parameters. Event streams are deterministic for a fixed seed at
 // parallelism 1: no timestamps, stable field order, sequential job IDs —
 // the NDJSON golden test byte-compares a whole stream.
+//
+// # Streaming policies
+//
+// All three stream endpoints fan out from the job's hub (ring buffer +
+// compacted snapshot) instead of a per-client replay log:
+//
+//   - NDJSON is the archival path: full replay from the oldest retained
+//     event under the BlockWithDeadline policy, so an actively-draining
+//     consumer sees every event gap-free; one that stops draining past the
+//     hub's deadline is disconnected.
+//   - SSE is a live-viewer path: every frame carries `id: <seq>`, a
+//     reconnecting client resumes via the standard Last-Event-ID header
+//     (from the ring, or the compacted snapshot of anything older), and a
+//     lapped client is resynced from the snapshot instead of stalling the
+//     producer. Idle streams get `: ping` comment frames on
+//     Options.KeepaliveInterval so reverse proxies keep them open.
+//   - WebSocket is the fan-out path for many concurrent viewers: by
+//     default a subscriber joins live (current snapshot, then new events
+//     as text frames); ?after=N resumes after sequence N and ?replay=full
+//     replays like NDJSON. The server pings idle connections on the
+//     keepalive interval and closes with code 1000 after the terminal
+//     event, or 4001 if the client stops draining.
 package service
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"adhocga"
 	"adhocga/internal/experiment"
 	"adhocga/internal/scenario"
+	"adhocga/internal/ws"
 )
+
+// CloseSlowSubscriber is the application WebSocket close code for a
+// backpressure eviction: the client stopped reading and its subscription
+// was dropped. Reconnect with ?after= to resume.
+const CloseSlowSubscriber uint16 = 4001
 
 // Options tune a Server.
 type Options struct {
@@ -45,6 +77,11 @@ type Options struct {
 	DefaultScale adhocga.Scale
 	// MaxBodyBytes caps the submit body size; ≤0 means 1 MiB.
 	MaxBodyBytes int64
+	// KeepaliveInterval is how often idle SSE streams emit a `: ping`
+	// comment frame and idle WebSocket connections a ping frame, so
+	// reverse proxies don't sever quiet streams. ≤0 means 15s; set it
+	// very large to effectively disable keepalives.
+	KeepaliveInterval time.Duration
 }
 
 // Server routes the v1 API onto a Session. Create with New; it implements
@@ -54,6 +91,10 @@ type Server struct {
 	session *adhocga.Session
 	opts    Options
 	mux     *http.ServeMux
+
+	// newTicker is the keepalive clock, swappable by tests: it returns a
+	// tick channel firing every d plus a stop function.
+	newTicker func(d time.Duration) (<-chan time.Time, func())
 }
 
 // New builds a Server over the given session.
@@ -61,11 +102,19 @@ func New(session *adhocga.Session, opts Options) *Server {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = 1 << 20
 	}
+	if opts.KeepaliveInterval <= 0 {
+		opts.KeepaliveInterval = 15 * time.Second
+	}
 	s := &Server{session: session, opts: opts, mux: http.NewServeMux()}
+	s.newTicker = func(d time.Duration) (<-chan time.Time, func()) {
+		t := time.NewTicker(d)
+		return t.C, t.Stop
+	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/ws", s.handleWS)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -99,6 +148,7 @@ type JobInfo struct {
 
 	StatusURL string `json:"status_url"`
 	EventsURL string `json:"events_url"`
+	WSURL     string `json:"ws_url"`
 }
 
 // ScenarioResult is one scenario's headline numbers in a finished job.
@@ -119,6 +169,7 @@ func (s *Server) info(j *adhocga.Job) JobInfo {
 		Events:    j.EventCount(),
 		StatusURL: "/v1/jobs/" + j.ID(),
 		EventsURL: "/v1/jobs/" + j.ID() + "/events",
+		WSURL:     "/v1/jobs/" + j.ID() + "/ws",
 	}
 	if err := j.Err(); err != nil {
 		info.Error = err.Error()
@@ -253,15 +304,28 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, s.info(j))
 }
 
-// handleEvents streams the job's events from the first one: full replay
-// for late subscribers, then live follow until the terminal event. NDJSON
-// by default; SSE when the client asks for text/event-stream.
+// handleEvents streams the job's events as NDJSON (archival: full replay
+// from the oldest retained event, BlockWithDeadline backpressure) or SSE
+// when the client asks for text/event-stream (live viewer: `id:` framed,
+// Last-Event-ID resume, drop-to-snapshot resync, `: ping` keepalives).
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(w, r)
 	if !ok {
 		return
 	}
 	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	opts := adhocga.SubscribeOptions{Policy: adhocga.BlockWithDeadline}
+	if sse {
+		opts.Policy = adhocga.DropResync
+		if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+			last, err := strconv.Atoi(lei)
+			if err != nil || last < 0 {
+				httpError(w, http.StatusBadRequest, "bad Last-Event-ID %q", lei)
+				return
+			}
+			opts.From = last + 1
+		}
+	}
 	if sse {
 		w.Header().Set("Content-Type", "text/event-stream")
 		w.Header().Set("Cache-Control", "no-cache")
@@ -270,25 +334,128 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// Push the response headers out now: an SSE client on an idle stream
+	// must see the connection established before the first event or ping.
+	flush()
 	enc := json.NewEncoder(w)
 	// The request context detaches the subscription when the client goes
 	// away; the job itself is unaffected.
-	for e := range j.EventsContext(r.Context()) {
-		if sse {
-			if _, err := io.WriteString(w, "data: "); err != nil {
+	sub := j.Subscribe(r.Context(), opts)
+	var keepalive <-chan time.Time
+	if sse {
+		tick, stop := s.newTicker(s.opts.KeepaliveInterval)
+		defer stop()
+		keepalive = tick
+	}
+	for {
+		select {
+		case e, open := <-sub.C:
+			if !open {
 				return
 			}
+			if sse {
+				if _, err := fmt.Fprintf(w, "id: %d\ndata: ", e.Seq); err != nil {
+					return
+				}
+			}
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+			if sse {
+				if _, err := io.WriteString(w, "\n"); err != nil {
+					return
+				}
+			}
+			flush()
+		case <-keepalive:
+			// SSE comment frame: ignored by clients, resets proxy idle
+			// timers.
+			if _, err := io.WriteString(w, ": ping\n\n"); err != nil {
+				return
+			}
+			flush()
 		}
-		if err := enc.Encode(e); err != nil {
+	}
+}
+
+// handleWS upgrades to WebSocket and streams the job's events as one JSON
+// text frame per event — the fan-out path for many concurrent viewers.
+// Default is a live subscription (current snapshot, then follow);
+// ?after=N resumes after sequence N; ?replay=full replays like the
+// archival NDJSON path. The connection closes with code 1000 after the
+// terminal event and code 4001 (CloseSlowSubscriber) on a backpressure
+// eviction. Client data frames are ignored; pings are answered.
+func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	opts := adhocga.SubscribeOptions{Live: true, Policy: adhocga.DropResync}
+	q := r.URL.Query()
+	if a := q.Get("after"); a != "" {
+		last, err := strconv.Atoi(a)
+		if err != nil || last < 0 {
+			httpError(w, http.StatusBadRequest, "bad after %q", a)
 			return
 		}
-		if sse {
-			if _, err := io.WriteString(w, "\n"); err != nil {
+		opts = adhocga.SubscribeOptions{From: last + 1, Policy: adhocga.DropResync}
+	}
+	if q.Get("replay") == "full" {
+		opts = adhocga.SubscribeOptions{Policy: adhocga.BlockWithDeadline}
+	}
+	conn, err := ws.Upgrade(w, r)
+	if err != nil {
+		if errors.Is(err, ws.ErrNotWebSocket) {
+			httpError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	defer conn.Close()
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	sub := j.Subscribe(ctx, opts)
+	// Reader goroutine: answers pings, detects the client going away (or
+	// sending a close), and detaches the subscription either way.
+	go func() {
+		defer cancel()
+		for {
+			if _, _, err := conn.NextMessage(); err != nil {
 				return
 			}
 		}
-		if flusher != nil {
-			flusher.Flush()
+	}()
+	tick, stop := s.newTicker(s.opts.KeepaliveInterval)
+	defer stop()
+	for {
+		select {
+		case e, open := <-sub.C:
+			if !open {
+				switch sub.Err() {
+				case nil: // terminal event delivered
+					conn.WriteClose(ws.CloseNormal, "job stream complete")
+				case adhocga.ErrSlowSubscriber:
+					conn.WriteClose(CloseSlowSubscriber, "not draining; reconnect with ?after=")
+				}
+				return
+			}
+			b, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			if err := conn.WriteText(b); err != nil {
+				return
+			}
+		case <-tick:
+			if err := conn.WritePing(nil); err != nil {
+				return
+			}
+		case <-ctx.Done():
+			return
 		}
 	}
 }

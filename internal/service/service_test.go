@@ -233,8 +233,15 @@ func TestServiceSSEFraming(t *testing.T) {
 	}
 	streamBytes, _ := io.ReadAll(resp.Body)
 	stream := string(streamBytes)
-	if !strings.HasPrefix(stream, "data: ") || !strings.Contains(stream, "\n\n") {
-		t.Errorf("stream not SSE-framed:\n%s", stream)
+	if !strings.HasPrefix(stream, "id: 0\ndata: ") || !strings.Contains(stream, "\n\n") {
+		t.Errorf("stream not SSE-framed with event ids:\n%s", stream)
+	}
+	// Every frame carries its sequence number as the SSE event id, which
+	// is what makes Last-Event-ID resumption work.
+	for i, frame := range strings.Split(strings.TrimSuffix(stream, "\n\n"), "\n\n") {
+		if !strings.HasPrefix(frame, fmt.Sprintf("id: %d\ndata: ", i)) {
+			t.Errorf("frame %d misframed:\n%s", i, frame)
+		}
 	}
 }
 

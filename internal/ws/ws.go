@@ -1,0 +1,407 @@
+// Package ws is a minimal, dependency-free RFC 6455 WebSocket
+// implementation covering exactly what the adhocd event fan-out needs: the
+// server-side HTTP upgrade (Upgrade), a test/tooling client (Dial), and
+// framed messaging with automatic ping/pong and close handshakes
+// (Conn.NextMessage / Conn.WriteMessage). It supports text and binary
+// messages, fragmented data frames, interleaved control frames, and the
+// masked-client/unmasked-server rule, and rejects protocol violations with
+// close code 1002. It deliberately omits what the service does not use:
+// extensions (permessage-deflate), subprotocol negotiation, and
+// client-side TLS.
+package ws
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Opcode is a WebSocket frame opcode.
+type Opcode byte
+
+// The RFC 6455 opcodes.
+const (
+	OpContinuation Opcode = 0x0
+	OpText         Opcode = 0x1
+	OpBinary       Opcode = 0x2
+	OpClose        Opcode = 0x8
+	OpPing         Opcode = 0x9
+	OpPong         Opcode = 0xA
+)
+
+// Close codes the package uses.
+const (
+	// CloseNormal is the normal-completion close code (1000).
+	CloseNormal uint16 = 1000
+	// CloseProtocolError rejects a peer's protocol violation (1002).
+	CloseProtocolError uint16 = 1002
+	// CloseTooBig rejects a message over the size cap (1009).
+	CloseTooBig uint16 = 1009
+)
+
+// MaxMessageSize caps one assembled message; larger frames close the
+// connection with CloseTooBig. The event stream's JSON documents are a few
+// hundred bytes, so 1 MiB is generous.
+const MaxMessageSize = 1 << 20
+
+// wsGUID is the key-hashing constant from RFC 6455 §1.3.
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// CloseError is the error NextMessage returns when the peer sends a close
+// frame (after echoing the close, per the protocol).
+type CloseError struct {
+	Code   uint16
+	Reason string
+}
+
+func (e *CloseError) Error() string {
+	return fmt.Sprintf("ws: connection closed by peer: code %d %q", e.Code, e.Reason)
+}
+
+// ErrNotWebSocket is returned by Upgrade when the request is not a
+// well-formed WebSocket handshake; the ResponseWriter is still usable for
+// a plain HTTP error in that case.
+var ErrNotWebSocket = errors.New("ws: not a websocket handshake")
+
+// Conn is one WebSocket connection. Reads must come from a single
+// goroutine; writes are internally serialized and may come from any
+// goroutine (NextMessage replies to pings concurrently with an
+// application writer).
+type Conn struct {
+	conn   net.Conn
+	br     *bufio.Reader
+	client bool // client side masks outgoing frames
+
+	wmu       sync.Mutex
+	bw        *bufio.Writer
+	sentClose bool
+}
+
+// AcceptKey computes the Sec-WebSocket-Accept value for a handshake key.
+func AcceptKey(key string) string {
+	h := sha1.Sum([]byte(key + wsGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// IsUpgrade reports whether the request asks for a WebSocket upgrade (so
+// handlers can route without committing to the handshake).
+func IsUpgrade(r *http.Request) bool {
+	return headerContainsToken(r.Header, "Connection", "upgrade") &&
+		strings.EqualFold(r.Header.Get("Upgrade"), "websocket")
+}
+
+func headerContainsToken(h http.Header, name, token string) bool {
+	for _, v := range h.Values(name) {
+		for _, part := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), token) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Upgrade performs the server side of the opening handshake and hijacks
+// the connection. On a malformed handshake it returns an error wrapping
+// ErrNotWebSocket without hijacking, so the caller can still answer with a
+// plain HTTP status.
+func Upgrade(w http.ResponseWriter, r *http.Request) (*Conn, error) {
+	if r.Method != http.MethodGet {
+		return nil, fmt.Errorf("%w: method %s", ErrNotWebSocket, r.Method)
+	}
+	if !IsUpgrade(r) {
+		return nil, fmt.Errorf("%w: missing Upgrade/Connection headers", ErrNotWebSocket)
+	}
+	if v := r.Header.Get("Sec-WebSocket-Version"); v != "13" {
+		return nil, fmt.Errorf("%w: unsupported version %q", ErrNotWebSocket, v)
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		return nil, fmt.Errorf("%w: missing Sec-WebSocket-Key", ErrNotWebSocket)
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		return nil, fmt.Errorf("ws: response writer cannot hijack")
+	}
+	netConn, rw, err := hj.Hijack()
+	if err != nil {
+		return nil, fmt.Errorf("ws: hijack: %w", err)
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + AcceptKey(key) + "\r\n\r\n"
+	if _, err := rw.Writer.WriteString(resp); err != nil {
+		netConn.Close()
+		return nil, err
+	}
+	if err := rw.Writer.Flush(); err != nil {
+		netConn.Close()
+		return nil, err
+	}
+	return &Conn{conn: netConn, br: rw.Reader, bw: rw.Writer}, nil
+}
+
+// Dial opens a client connection to a ws:// URL (http:// is accepted and
+// treated as ws://). Intended for tests and local tooling; no TLS.
+func Dial(rawURL string) (*Conn, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	switch u.Scheme {
+	case "ws", "http":
+	default:
+		return nil, fmt.Errorf("ws: unsupported scheme %q", u.Scheme)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Host, "80")
+	}
+	netConn, err := net.Dial("tcp", host)
+	if err != nil {
+		return nil, err
+	}
+	var keyBytes [16]byte
+	if _, err := rand.Read(keyBytes[:]); err != nil {
+		netConn.Close()
+		return nil, err
+	}
+	key := base64.StdEncoding.EncodeToString(keyBytes[:])
+	path := u.RequestURI()
+	req := "GET " + path + " HTTP/1.1\r\n" +
+		"Host: " + u.Host + "\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: " + key + "\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := netConn.Write([]byte(req)); err != nil {
+		netConn.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(netConn)
+	resp, err := http.ReadResponse(br, &http.Request{Method: http.MethodGet})
+	if err != nil {
+		netConn.Close()
+		return nil, err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		netConn.Close()
+		return nil, fmt.Errorf("ws: handshake rejected: %s", resp.Status)
+	}
+	if got := resp.Header.Get("Sec-WebSocket-Accept"); got != AcceptKey(key) {
+		netConn.Close()
+		return nil, fmt.Errorf("ws: bad Sec-WebSocket-Accept %q", got)
+	}
+	return &Conn{conn: netConn, br: br, bw: bufio.NewWriter(netConn), client: true}, nil
+}
+
+// WriteMessage writes one unfragmented message. Safe for concurrent use.
+func (c *Conn) WriteMessage(op Opcode, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.writeFrameLocked(op, payload)
+}
+
+// WriteText writes one text message.
+func (c *Conn) WriteText(payload []byte) error { return c.WriteMessage(OpText, payload) }
+
+// WritePing writes a ping control frame.
+func (c *Conn) WritePing(payload []byte) error { return c.WriteMessage(OpPing, payload) }
+
+// WriteClose sends a close frame with a code and reason (truncated to fit
+// a control frame). Repeated calls are no-ops, so the application close
+// and the protocol's close echo cannot double-send.
+func (c *Conn) WriteClose(code uint16, reason string) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.sentClose {
+		return nil
+	}
+	c.sentClose = true
+	if len(reason) > 123 {
+		reason = reason[:123]
+	}
+	payload := make([]byte, 2+len(reason))
+	binary.BigEndian.PutUint16(payload, code)
+	copy(payload[2:], reason)
+	return c.writeFrameLocked(OpClose, payload)
+}
+
+func (c *Conn) writeFrameLocked(op Opcode, payload []byte) error {
+	var header [14]byte
+	header[0] = 0x80 | byte(op) // FIN set: no outgoing fragmentation
+	n := 2
+	switch l := len(payload); {
+	case l < 126:
+		header[1] = byte(l)
+	case l < 1<<16:
+		header[1] = 126
+		binary.BigEndian.PutUint16(header[2:], uint16(l))
+		n = 4
+	default:
+		header[1] = 127
+		binary.BigEndian.PutUint64(header[2:], uint64(l))
+		n = 10
+	}
+	if c.client {
+		header[1] |= 0x80
+		var mask [4]byte
+		if _, err := rand.Read(mask[:]); err != nil {
+			return err
+		}
+		copy(header[n:], mask[:])
+		n += 4
+		masked := make([]byte, len(payload))
+		for i, b := range payload {
+			masked[i] = b ^ mask[i%4]
+		}
+		payload = masked
+	}
+	if _, err := c.bw.Write(header[:n]); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// readFrame reads one raw frame, enforcing the masking rule for the
+// connection's side and the control-frame limits.
+func (c *Conn) readFrame() (fin bool, op Opcode, payload []byte, err error) {
+	var h [2]byte
+	if _, err = io.ReadFull(c.br, h[:]); err != nil {
+		return false, 0, nil, err
+	}
+	if h[0]&0x70 != 0 {
+		return false, 0, nil, c.protocolError("nonzero RSV bits")
+	}
+	fin = h[0]&0x80 != 0
+	op = Opcode(h[0] & 0x0F)
+	masked := h[1]&0x80 != 0
+	if masked == c.client {
+		// Servers must receive masked frames, clients unmasked ones.
+		return false, 0, nil, c.protocolError("wrong masking")
+	}
+	length := uint64(h[1] & 0x7F)
+	switch length {
+	case 126:
+		var ext [2]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		length = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		length = binary.BigEndian.Uint64(ext[:])
+	}
+	if op >= OpClose {
+		if !fin || length > 125 {
+			return false, 0, nil, c.protocolError("malformed control frame")
+		}
+	}
+	if length > MaxMessageSize {
+		c.WriteClose(CloseTooBig, "message too big")
+		return false, 0, nil, fmt.Errorf("ws: frame of %d bytes exceeds cap", length)
+	}
+	var mask [4]byte
+	if masked {
+		if _, err = io.ReadFull(c.br, mask[:]); err != nil {
+			return false, 0, nil, err
+		}
+	}
+	payload = make([]byte, length)
+	if _, err = io.ReadFull(c.br, payload); err != nil {
+		return false, 0, nil, err
+	}
+	if masked {
+		for i := range payload {
+			payload[i] ^= mask[i%4]
+		}
+	}
+	return fin, op, payload, nil
+}
+
+func (c *Conn) protocolError(msg string) error {
+	c.WriteClose(CloseProtocolError, msg)
+	return fmt.Errorf("ws: protocol error: %s", msg)
+}
+
+// NextMessage returns the next complete data message, transparently
+// assembling fragments and handling interleaved control frames: pings are
+// answered with pongs, pongs are discarded, and a close frame is echoed
+// and surfaced as *CloseError.
+func (c *Conn) NextMessage() (Opcode, []byte, error) {
+	var (
+		assembling bool
+		msgOp      Opcode
+		buf        []byte
+	)
+	for {
+		fin, op, payload, err := c.readFrame()
+		if err != nil {
+			return 0, nil, err
+		}
+		switch op {
+		case OpPing:
+			if err := c.WriteMessage(OpPong, payload); err != nil {
+				return 0, nil, err
+			}
+			continue
+		case OpPong:
+			continue
+		case OpClose:
+			code := CloseNormal
+			reason := ""
+			if len(payload) >= 2 {
+				code = binary.BigEndian.Uint16(payload)
+				reason = string(payload[2:])
+			}
+			c.WriteClose(code, "")
+			return 0, nil, &CloseError{Code: code, Reason: reason}
+		case OpContinuation:
+			if !assembling {
+				return 0, nil, c.protocolError("continuation without start")
+			}
+		case OpText, OpBinary:
+			if assembling {
+				return 0, nil, c.protocolError("data frame inside fragmented message")
+			}
+			assembling, msgOp = true, op
+		default:
+			return 0, nil, c.protocolError("reserved opcode")
+		}
+		if len(buf)+len(payload) > MaxMessageSize {
+			c.WriteClose(CloseTooBig, "message too big")
+			return 0, nil, fmt.Errorf("ws: assembled message exceeds cap")
+		}
+		buf = append(buf, payload...)
+		if fin {
+			return msgOp, buf, nil
+		}
+	}
+}
+
+// SetReadDeadline bounds the next read on the underlying connection.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
+
+// Close tears the TCP connection down. For a graceful shutdown send
+// WriteClose first; Close never errors on an already-closed connection in
+// a way callers need to act on.
+func (c *Conn) Close() error { return c.conn.Close() }

@@ -1,0 +1,188 @@
+package ws
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer upgrades every request and echoes data messages back until
+// the client closes.
+func echoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, err := Upgrade(w, r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		defer conn.Close()
+		for {
+			op, payload, err := conn.NextMessage()
+			if err != nil {
+				return
+			}
+			if err := conn.WriteMessage(op, payload); err != nil {
+				return
+			}
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestEchoRoundTrip(t *testing.T) {
+	srv := echoServer(t)
+	conn, err := Dial(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	payloads := []string{
+		"hello",
+		strings.Repeat("x", 200),     // 16-bit length header
+		strings.Repeat("y", 1<<16+3), // 64-bit length header
+	}
+	for _, p := range payloads {
+		if err := conn.WriteText([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+		op, got, err := conn.NextMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op != OpText || string(got) != p {
+			t.Fatalf("echo mismatch: op %d, %d bytes", op, len(got))
+		}
+	}
+	if err := conn.WriteMessage(OpBinary, []byte{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if op, got, err := conn.NextMessage(); err != nil || op != OpBinary || len(got) != 3 {
+		t.Fatalf("binary echo: op %d len %d err %v", op, len(got), err)
+	}
+}
+
+func TestPingAnsweredTransparently(t *testing.T) {
+	srv := echoServer(t)
+	conn, err := Dial(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// The server's NextMessage must answer the ping with a pong and keep
+	// waiting; our own NextMessage then discards the pong transparently,
+	// so an echoed data message is still delivered in order.
+	if err := conn.WritePing([]byte("beat")); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.WriteText([]byte("after-ping")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	_, got, err := conn.NextMessage()
+	if err != nil || string(got) != "after-ping" {
+		t.Fatalf("got %q err %v", got, err)
+	}
+}
+
+func TestCloseHandshake(t *testing.T) {
+	srv := echoServer(t)
+	conn, err := Dial(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.WriteClose(CloseNormal, "bye"); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	_, _, err = conn.NextMessage()
+	var ce *CloseError
+	if !errors.As(err, &ce) || ce.Code != CloseNormal {
+		t.Fatalf("want close echo, got %v", err)
+	}
+	// Idempotent: the echo path must not have double-sent a close.
+	if err := conn.WriteClose(CloseNormal, "again"); err != nil {
+		t.Fatalf("repeated close: %v", err)
+	}
+}
+
+func TestUpgradeRejectsPlainHTTP(t *testing.T) {
+	srv := echoServer(t)
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("plain GET got %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestUpgradeValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*http.Request)
+	}{
+		{"bad version", func(r *http.Request) { r.Header.Set("Sec-WebSocket-Version", "8") }},
+		{"missing key", func(r *http.Request) { r.Header.Del("Sec-WebSocket-Key") }},
+		{"missing upgrade", func(r *http.Request) { r.Header.Del("Upgrade") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := httptest.NewRequest(http.MethodGet, "/", nil)
+			r.Header.Set("Connection", "Upgrade")
+			r.Header.Set("Upgrade", "websocket")
+			r.Header.Set("Sec-WebSocket-Version", "13")
+			r.Header.Set("Sec-WebSocket-Key", "dGhlIHNhbXBsZSBub25jZQ==")
+			tc.mutate(r)
+			if _, err := Upgrade(httptest.NewRecorder(), r); !errors.Is(err, ErrNotWebSocket) {
+				t.Fatalf("want ErrNotWebSocket, got %v", err)
+			}
+		})
+	}
+}
+
+func TestAcceptKeyRFCVector(t *testing.T) {
+	// The worked example from RFC 6455 §1.3.
+	if got := AcceptKey("dGhlIHNhbXBsZSBub25jZQ=="); got != "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=" {
+		t.Fatalf("AcceptKey = %q", got)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	srv := echoServer(t)
+	conn, err := Dial(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	const writers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := conn.WriteText([]byte("msg")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	go func() { wg.Wait() }()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	for i := 0; i < writers*per; i++ {
+		if _, got, err := conn.NextMessage(); err != nil || string(got) != "msg" {
+			t.Fatalf("echo %d: %q %v (interleaved frames?)", i, got, err)
+		}
+	}
+	wg.Wait()
+}

@@ -33,28 +33,33 @@ func (s JobState) Terminal() bool {
 // Job is the handle to one submitted workload: inspect its state, stream
 // its events, wait for or cancel it. All methods are safe for concurrent
 // use.
+//
+// Events flow through the job's streaming hub (see hub.go): a bounded ring
+// buffer plus a compacted per-stream snapshot, fanned out to any number of
+// subscribers with per-subscriber backpressure. A job's event memory is
+// bounded by its HubConfig regardless of how many generations it runs or
+// how many clients watch it.
 type Job struct {
 	id   string
 	kind string
 
+	hub    *hub
 	cancel context.CancelFunc
 	done   chan struct{}
 
 	mu     sync.Mutex
-	log    []Event       // append-only event history
-	notify chan struct{} // closed and replaced on every append/state change
 	state  JobState
 	result any
 	err    error
 }
 
-func newJob(id, kind string) *Job {
+func newJob(id, kind string, cfg HubConfig) *Job {
 	return &Job{
-		id:     id,
-		kind:   kind,
-		done:   make(chan struct{}),
-		notify: make(chan struct{}),
-		state:  JobQueued,
+		id:    id,
+		kind:  kind,
+		hub:   newHub(id, cfg),
+		done:  make(chan struct{}),
+		state: JobQueued,
 	}
 }
 
@@ -93,69 +98,53 @@ func (j *Job) Result() any {
 	return j.result
 }
 
-// EventCount returns the number of events emitted so far.
-func (j *Job) EventCount() int {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return len(j.log)
+// EventCount returns the total number of events emitted so far (not all of
+// them are necessarily still retained — see Snapshot).
+func (j *Job) EventCount() int { return j.hub.totalEvents() }
+
+// Snapshot returns a copy of every event still retained, in sequence
+// order: for jobs within the hub's ring capacity this is the full history;
+// longer jobs keep the compacted snapshot of the evicted range (the latest
+// event per stream) followed by the ring tail.
+func (j *Job) Snapshot() []Event { return j.hub.retained() }
+
+// StreamStats returns the job hub's observability counters: events
+// emitted/retained, attached subscribers, backpressure resyncs and
+// evictions, and the longest producer stall.
+func (j *Job) StreamStats() StreamStats { return j.hub.stats() }
+
+// Subscribe attaches one subscription to the job's event stream with
+// explicit replay and backpressure control (see SubscribeOptions and
+// Backpressure). The subscription's channel closes after the terminal
+// KindDone event, when ctx is cancelled, or when backpressure evicts the
+// subscriber; Subscription.Err distinguishes the three. The job itself is
+// never affected by its subscribers beyond the bounded BlockWithDeadline
+// wait.
+func (j *Job) Subscribe(ctx context.Context, opts SubscribeOptions) *Subscription {
+	if opts.From < 0 {
+		opts.From = 0
+	}
+	return j.hub.subscribe(ctx, opts)
 }
 
-// Snapshot returns a copy of the full event history emitted so far.
-func (j *Job) Snapshot() []Event {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return append([]Event(nil), j.log...)
-}
-
-// Events streams the job's events from the very first — a subscriber
+// Events streams the job's events from the oldest retained one — for jobs
+// within the ring capacity that is the very first, so a subscriber
 // attaching after the job started (or even after it finished) replays the
-// full history, then follows live. The channel is closed after the
-// terminal KindDone event. Every call returns an independent subscription;
-// a slow consumer delays only its own stream, never the job. The consumer
-// must drain the channel to completion — use EventsContext to detach
-// early.
+// full history, then follows live. The subscription uses the archival
+// BlockWithDeadline policy: an actively-draining consumer sees every event
+// with no gaps, and only a consumer that stops draining for longer than
+// the hub's BlockDeadline is evicted (the channel closes early in that
+// case). The channel is closed after the terminal KindDone event. Use
+// EventsContext to detach early.
 func (j *Job) Events() <-chan Event {
 	return j.EventsContext(context.Background())
 }
 
 // EventsContext is Events with a detach control: when ctx is cancelled the
-// subscription's goroutine stops and the channel is closed without
-// draining the remaining history. The job itself is unaffected.
+// subscription stops and the channel is closed without draining the
+// remaining history. The job itself is unaffected.
 func (j *Job) EventsContext(ctx context.Context) <-chan Event {
-	ch := make(chan Event, 16)
-	go func() {
-		defer close(ch)
-		next := 0
-		for {
-			j.mu.Lock()
-			batch := j.log[next:]
-			notify := j.notify
-			terminal := j.state.Terminal()
-			j.mu.Unlock()
-			for _, e := range batch {
-				select {
-				case ch <- e:
-				case <-ctx.Done():
-					return
-				}
-			}
-			next += len(batch)
-			if terminal && len(batch) == 0 {
-				return
-			}
-			if terminal {
-				// Re-check immediately: the terminal event may already be
-				// in the log we just drained.
-				continue
-			}
-			select {
-			case <-notify:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-	return ch
+	return j.Subscribe(ctx, SubscribeOptions{Policy: BlockWithDeadline}).C
 }
 
 // Wait blocks until the job reaches a terminal state or ctx is done. It
@@ -177,25 +166,10 @@ func (j *Job) Wait(ctx context.Context) error {
 // terminal job is a no-op.
 func (j *Job) Cancel() { j.cancel() }
 
-// emit appends one event to the log, stamping Seq and Job, and wakes all
+// emit appends one event to the hub, stamping Seq and Job, and wakes all
 // subscribers. No-op after the job turned terminal (the KindDone event is
 // the last one, emitted by finish itself).
-func (j *Job) emit(e Event) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.state.Terminal() {
-		return
-	}
-	j.appendLocked(e)
-}
-
-func (j *Job) appendLocked(e Event) {
-	e.Seq = len(j.log)
-	e.Job = j.id
-	j.log = append(j.log, e)
-	close(j.notify)
-	j.notify = make(chan struct{})
-}
+func (j *Job) emit(e Event) { j.hub.append(e, false) }
 
 // setRunning moves a queued job to running.
 func (j *Job) setRunning() {
@@ -206,9 +180,9 @@ func (j *Job) setRunning() {
 	}
 }
 
-// finish records the terminal outcome, emits the KindDone event, and
-// releases waiters. The terminal state is derived from err: nil → done,
-// cancellation → cancelled, anything else → failed.
+// finish records the terminal outcome, emits the KindDone event (sealing
+// the hub), and releases waiters. The terminal state is derived from err:
+// nil → done, cancellation → cancelled, anything else → failed.
 func (j *Job) finish(result any, err error) {
 	j.mu.Lock()
 	state := JobDone
@@ -222,12 +196,12 @@ func (j *Job) finish(result any, err error) {
 	j.result = result
 	j.err = err
 	j.state = state
+	j.mu.Unlock()
 	ev := Event{Kind: KindDone, Done: &DoneEvent{State: state}}
 	if err != nil {
 		ev.Done.Error = err.Error()
 	}
-	j.appendLocked(ev)
-	j.mu.Unlock()
+	j.hub.append(ev, true)
 	j.cancel() // release the job context's resources
 	close(j.done)
 }

@@ -29,6 +29,7 @@ type Session struct {
 	seed     uint64
 	jobSlots chan struct{}
 	retain   int // max terminal jobs kept; ≤0 = unlimited
+	hubCfg   HubConfig
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -96,6 +97,17 @@ func WithJobRetention(n int) SessionOption {
 	return func(s *Session) { s.retain = n }
 }
 
+// WithHubConfig sizes every job's streaming hub: ring capacity (event
+// retention and replay depth), per-subscriber send-channel buffer, and the
+// producer's block-with-deadline budget for archival subscribers. Zero
+// fields keep their defaults (DefaultRingSize, DefaultSubscriberBuffer,
+// DefaultBlockDeadline). Together with WithJobRetention this bounds a
+// long-lived session's memory: at most retention × (ring + snapshot)
+// events ever stay reachable.
+func WithHubConfig(cfg HubConfig) SessionOption {
+	return func(s *Session) { s.hubCfg = cfg }
+}
+
 // NewSession builds a Session from its functional options.
 func NewSession(opts ...SessionOption) *Session {
 	s := &Session{
@@ -140,7 +152,7 @@ func (s *Session) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 		return nil, fmt.Errorf("adhocga: session is closed")
 	}
 	s.nextID++
-	j := newJob(fmt.Sprintf("job-%d", s.nextID), spec.Kind())
+	j := newJob(fmt.Sprintf("job-%d", s.nextID), spec.Kind(), s.hubCfg)
 	jctx, cancel := context.WithCancel(ctx)
 	j.cancel = cancel
 	s.jobs[j.id] = j

@@ -1,0 +1,86 @@
+package adhocga
+
+// BenchmarkEventFanout measures the streaming hub's producer hot path
+// with live viewers attached: ns/op is the cost of one emit with N
+// DropResync subscribers on the hub — the tentpole claim is that this
+// stays flat in N, because live viewers never gate an append. The pumps
+// are deliberately parked (buffers full, no draining) while the producer
+// is timed; that keeps the measurement single-threaded and stable on a
+// one-core CI runner instead of bimodal on scheduler luck. bytes/sub is
+// the marginal heap footprint of one attached subscriber and events/sub
+// the post-run delivery (snapshot resync + ring tail per viewer).
+// BENCH_stream.json in CI tracks the series; the benchgate holds the
+// ns/op trajectory against ci/bench_baseline.txt at 10%.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func BenchmarkEventFanout(b *testing.B) {
+	for _, subs := range []int{16, 256, 2048} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			j := testJobBench(HubConfig{})
+			heapBefore := heapAlloc()
+			viewers := make([]*Subscription, subs)
+			for i := range viewers {
+				viewers[i] = j.Subscribe(context.Background(), SubscribeOptions{
+					Live: true, Policy: DropResync, Buffer: 16,
+				})
+			}
+			perSub := float64(heapAlloc()-heapBefore) / float64(subs)
+
+			// Park every pump: emit enough to fill the 16-slot buffers,
+			// then yield the core until they are all blocked on their send
+			// channels. From here on the producer runs alone.
+			for i := 0; i < 64; i++ {
+				j.emit(Event{Kind: KindGeneration, Generation: &GenerationEvent{Gen: i}})
+			}
+			time.Sleep(100 * time.Millisecond)
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j.emit(Event{Kind: KindGeneration, Generation: &GenerationEvent{Gen: i}})
+			}
+			b.StopTimer()
+
+			j.finish(nil, nil)
+			var wg sync.WaitGroup
+			var delivered atomic.Int64
+			for _, sub := range viewers {
+				wg.Add(1)
+				go func(sub *Subscription) {
+					defer wg.Done()
+					n := 0
+					for range sub.C {
+						n++
+					}
+					delivered.Add(int64(n))
+				}(sub)
+			}
+			wg.Wait()
+			b.ReportMetric(perSub, "bytes/sub")
+			b.ReportMetric(float64(delivered.Load())/float64(subs), "events/sub")
+		})
+	}
+}
+
+// testJobBench mirrors hub_test.go's testJob for the benchmark file.
+func testJobBench(cfg HubConfig) *Job {
+	j := newJob("job-b", "bench", cfg)
+	j.cancel = func() {}
+	return j
+}
+
+func heapAlloc() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
