@@ -23,6 +23,16 @@
 // and -block-deadline flags size each job's streaming hub; -keepalive
 // sets the idle SSE/WebSocket ping interval.
 //
+// With -store file, every job is persisted to a write-ahead log under
+// -data-dir and the daemon is restart-safe: on boot it reloads the log,
+// serves finished jobs (status, results, archived event replays) without
+// recompute, and re-runs jobs a crash interrupted from their recorded
+// (seed, spec) — bit-identical, by the determinism contract. Any finished
+// job can later be re-checked with POST /v1/jobs/{id}/verify:
+//
+//	adhocd -store file -data-dir /var/lib/adhocd
+//	curl -s -X POST localhost:8547/v1/jobs/job-1/verify
+//
 // SIGINT/SIGTERM shut the daemon down gracefully: the listener drains,
 // every running job is cancelled at its next generation barrier, and the
 // process exits once all jobs have stopped.
@@ -43,8 +53,13 @@ import (
 
 	"adhocga"
 	"adhocga/internal/experiment"
+	"adhocga/internal/jobstore"
 	"adhocga/internal/service"
 )
+
+// version is the build identifier /healthz reports; override at link time
+// with -ldflags "-X main.version=v1.2.3".
+var version = "dev"
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -69,6 +84,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		subBuffer = fs.Int("sub-buffer", adhocga.DefaultSubscriberBuffer, "per-subscriber send-channel capacity")
 		blockDL   = fs.Duration("block-deadline", adhocga.DefaultBlockDeadline, "longest a job's producer waits for a slow archival (NDJSON) subscriber before evicting it")
 		keepalive = fs.Duration("keepalive", 15*time.Second, "idle SSE/WebSocket keepalive ping interval")
+		storeKind = fs.String("store", "mem", "job persistence backend: mem (gone on exit) or file (WAL under -data-dir, restart-safe)")
+		dataDir   = fs.String("data-dir", "adhocd-data", "directory for the file store's write-ahead log")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -90,6 +107,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	var store jobstore.Store
+	switch *storeKind {
+	case "mem":
+		store = jobstore.NewMem()
+	case "file":
+		fileStore, err := jobstore.OpenFile(*dataDir)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if n := fileStore.Skipped(); n > 0 {
+			fmt.Fprintf(stderr, "adhocd: skipped %d corrupt WAL entries in %s\n", n, *dataDir)
+		}
+		store = fileStore
+	default:
+		fmt.Fprintf(stderr, "adhocd: -store must be mem or file, got %q\n", *storeKind)
+		return 2
+	}
+	defer store.Close()
+
 	session := adhocga.NewSession(
 		adhocga.WithPoolSize(*pool),
 		adhocga.WithMaxConcurrentJobs(*maxJobs),
@@ -108,12 +145,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	server := &http.Server{Handler: service.New(session, service.Options{
+	svc := service.New(session, service.Options{
 		DefaultScale:      sc,
 		KeepaliveInterval: *keepalive,
-	})}
-	fmt.Fprintf(stdout, "adhocd listening on %s (pool %d, max jobs %d, scale %s)\n",
-		ln.Addr(), session.PoolSize(), *maxJobs, sc.Name)
+		Store:             store,
+		Version:           version,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, "adhocd: "+format+"\n", args...)
+		},
+	})
+	// Reload persisted jobs before the first request can race them:
+	// finished records serve from the store, interrupted ones re-run from
+	// their recorded (seed, spec).
+	recovered, resumed, err := svc.Recover(ctx)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		ln.Close()
+		return 1
+	}
+	server := &http.Server{Handler: svc}
+	fmt.Fprintf(stdout, "adhocd listening on %s (pool %d, max jobs %d, scale %s, store %s)\n",
+		ln.Addr(), session.PoolSize(), *maxJobs, sc.Name, store.Backend())
+	if recovered > 0 {
+		fmt.Fprintf(stdout, "adhocd: recovered %d persisted jobs, resumed %d unfinished\n", recovered, resumed)
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- server.Serve(ln) }()

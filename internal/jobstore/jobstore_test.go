@@ -1,0 +1,335 @@
+package jobstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testRecord(id, state string) Record {
+	return Record{
+		ID:        id,
+		Kind:      "scenarios",
+		Spec:      json.RawMessage(`{"scenarios":{"name":"x"},"seed":7}`),
+		Seed:      7,
+		State:     state,
+		Watermark: 3,
+	}
+}
+
+func TestMemBasics(t *testing.T) {
+	m := NewMem()
+	if _, ok, _ := m.Get("job-1"); ok {
+		t.Fatal("empty store has job-1")
+	}
+	if err := m.Put(Record{}); err == nil {
+		t.Fatal("id-less record accepted")
+	}
+	for _, id := range []string{"job-1", "job-2", "job-3"} {
+		if err := m.Put(testRecord(id, StateQueued)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r2 := testRecord("job-2", StateDone)
+	r2.ResultDigest = "abc"
+	if err := m.Put(r2); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := m.Get("job-2")
+	if err != nil || !ok || got.State != StateDone || got.ResultDigest != "abc" {
+		t.Fatalf("get job-2: %+v %v %v", got, ok, err)
+	}
+	if err := m.Delete("job-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete("job-404"); err != nil {
+		t.Fatal(err)
+	}
+	list, err := m.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, r := range list {
+		ids = append(ids, r.ID)
+	}
+	if !reflect.DeepEqual(ids, []string{"job-2", "job-3"}) {
+		t.Fatalf("list order %v", ids)
+	}
+	if m.Backend() != "mem" {
+		t.Fatalf("backend %q", m.Backend())
+	}
+}
+
+func TestMemPutDoesNotAliasCallerBuffers(t *testing.T) {
+	m := NewMem()
+	r := testRecord("job-1", StateQueued)
+	if err := m.Put(r); err != nil {
+		t.Fatal(err)
+	}
+	r.Spec[2] = 'X' // mutate the caller's buffer after Put
+	got, _, _ := m.Get("job-1")
+	if bytes.Contains(got.Spec, []byte{'X'}) {
+		t.Fatal("store aliases the caller's spec buffer")
+	}
+	got.Spec[2] = 'Y' // mutate the returned buffer
+	again, _, _ := m.Get("job-1")
+	if bytes.Contains(again.Spec, []byte{'Y'}) {
+		t.Fatal("Get returns the store's own buffer")
+	}
+}
+
+func TestFileRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Backend() != "file" {
+		t.Fatalf("backend %q", fs.Backend())
+	}
+	done := testRecord("job-1", StateDone)
+	done.Result = json.RawMessage(`[{"name":"x"}]`)
+	done.ResultDigest = "deadbeef"
+	done.EventLog = []byte("{\"seq\":0}\n{\"seq\":1}\n")
+	done.LogDigest = "cafe"
+	done.Deterministic = true
+	for _, r := range []Record{done, testRecord("job-2", StateRunning), testRecord("job-3", StateQueued)} {
+		if err := fs.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Delete("job-3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal("second Close not idempotent:", err)
+	}
+	if err := fs.Put(testRecord("job-9", StateQueued)); err == nil {
+		t.Fatal("Put on closed store accepted")
+	}
+
+	re, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Skipped() != 0 {
+		t.Fatalf("clean WAL skipped %d entries", re.Skipped())
+	}
+	got, ok, err := re.Get("job-1")
+	if err != nil || !ok {
+		t.Fatalf("job-1 lost across reopen: %v %v", ok, err)
+	}
+	if !reflect.DeepEqual(got, done) {
+		t.Fatalf("job-1 changed across reopen:\n got %+v\nwant %+v", got, done)
+	}
+	list, _ := re.List()
+	if len(list) != 2 || list[0].ID != "job-1" || list[1].ID != "job-2" {
+		t.Fatalf("list after reopen: %+v", list)
+	}
+	if _, ok, _ := re.Get("job-3"); ok {
+		t.Fatal("deleted job-3 resurrected by reopen")
+	}
+}
+
+// TestFileRecoverySkipsCorruptTail is the crash contract: a torn final
+// write (SIGKILL mid-append) and a flipped byte mid-file both lose only
+// the damaged entries, never the store.
+func TestFileRecoverySkipsCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"job-1", "job-2"} {
+		if err := fs.Put(testRecord(id, StateRunning)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, walFileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a torn half-line, as if the process died mid-write.
+	torn, err := EncodeEntry(Entry{Op: "put", Rec: &Record{ID: "job-3", State: StateQueued}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, torn[:len(torn)/2]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFile(dir)
+	if err != nil {
+		t.Fatalf("recovery failed on torn tail: %v", err)
+	}
+	if re.Skipped() != 1 {
+		t.Fatalf("skipped %d, want 1", re.Skipped())
+	}
+	if _, ok, _ := re.Get("job-3"); ok {
+		t.Fatal("torn record half-recovered")
+	}
+	if _, ok, _ := re.Get("job-2"); !ok {
+		t.Fatal("intact record lost to tail corruption")
+	}
+	re.Close()
+
+	// Flip one byte inside the first line's payload: its checksum fails,
+	// it is skipped, and later entries still load.
+	data, _ = os.ReadFile(path)
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	idx := bytes.IndexByte(lines[0], '{')
+	lines[0][idx+5] ^= 0x40
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err = OpenFile(dir)
+	if err != nil {
+		t.Fatalf("recovery failed on mid-file corruption: %v", err)
+	}
+	defer re.Close()
+	if re.Skipped() == 0 {
+		t.Fatal("corrupt line not counted as skipped")
+	}
+	if _, ok, _ := re.Get("job-2"); !ok {
+		t.Fatal("entry after the corrupt line lost")
+	}
+}
+
+func TestFileCompactionShrinksLogAndKeepsRecords(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := openFile(dir, 512) // tiny threshold so churn triggers compaction
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Many updates to the same two records: almost everything is garbage.
+	for i := 0; i < 200; i++ {
+		r := testRecord("job-1", StateRunning)
+		r.Watermark = i
+		if err := fs.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	final := testRecord("job-1", StateDone)
+	final.Watermark = 200
+	if err := fs.Put(final); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put(testRecord("job-2", StateQueued)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(filepath.Join(dir, walFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 202 appended entries at ~150 bytes each without compaction; the
+	// compacted live set is 2 entries.
+	if info.Size() > 2048 {
+		t.Fatalf("WAL not compacted: %d bytes", info.Size())
+	}
+	re, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, ok, _ := re.Get("job-1")
+	if !ok || got.State != StateDone || got.Watermark != 200 {
+		t.Fatalf("job-1 after compaction: %+v %v", got, ok)
+	}
+	if list, _ := re.List(); len(list) != 2 || list[0].ID != "job-1" {
+		t.Fatalf("list after compaction: %+v", list)
+	}
+}
+
+func TestEncodeDecodeEntryValidation(t *testing.T) {
+	if _, err := EncodeEntry(Entry{Op: "put"}); err == nil {
+		t.Error("put without record accepted")
+	}
+	if _, err := EncodeEntry(Entry{Op: "del"}); err == nil {
+		t.Error("del without id accepted")
+	}
+	if _, err := EncodeEntry(Entry{Op: "frobnicate", ID: "x"}); err == nil {
+		t.Error("unknown op accepted")
+	}
+	rec := testRecord("job-1", StateQueued)
+	line, err := EncodeEntry(Entry{Op: "put", Rec: &rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := DecodeEntry(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*e.Rec, rec) {
+		t.Fatalf("round trip changed the record: %+v", *e.Rec)
+	}
+	for name, mangled := range map[string][]byte{
+		"wrong magic":  []byte("zz9 " + string(line[4:])),
+		"short":        line[:8],
+		"bad crc hex":  append([]byte(walMagic+" zzzzzzzz "), line[13:]...),
+		"flipped byte": flipByte(line, len(line)/2),
+		"empty":        {},
+	} {
+		if _, err := DecodeEntry(mangled); err == nil {
+			t.Errorf("%s decoded without error", name)
+		}
+	}
+	// A del tombstone round-trips too.
+	line, err = EncodeEntry(Entry{Op: "del", ID: "job-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, err := DecodeEntry(line); err != nil || e.Op != "del" || e.ID != "job-1" {
+		t.Fatalf("del round trip: %+v %v", e, err)
+	}
+}
+
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0x01
+	return out
+}
+
+func TestReplayMixedGoodAndBadLines(t *testing.T) {
+	var buf bytes.Buffer
+	for _, id := range []string{"job-1", "job-2"} {
+		rec := testRecord(id, StateQueued)
+		line, _ := EncodeEntry(Entry{Op: "put", Rec: &rec})
+		buf.Write(line)
+	}
+	buf.WriteString("garbage line\n\n")
+	rec := testRecord("job-3", StateQueued)
+	line, _ := EncodeEntry(Entry{Op: "put", Rec: &rec})
+	buf.Write(line)
+	buf.WriteString(walMagic + " 00000000 {\"op\":") // torn tail
+
+	entries, skipped := Replay(buf.Bytes())
+	if len(entries) != 3 {
+		t.Fatalf("replayed %d entries, want 3", len(entries))
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped %d, want 2 (garbage + torn tail; blank lines are free)", skipped)
+	}
+	var ids []string
+	for _, e := range entries {
+		ids = append(ids, e.Rec.ID)
+	}
+	if strings.Join(ids, ",") != "job-1,job-2,job-3" {
+		t.Fatalf("entry order %v", ids)
+	}
+}

@@ -1,0 +1,406 @@
+package jobstore
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The file backend is a single append-only write-ahead log: every Put or
+// Delete appends one framed line, recovery replays the file front to back
+// and keeps the last entry per job, and a compaction pass rewrites the
+// live set through a temp file + rename once superseded entries dominate.
+// Each line is independently checksummed, so a torn write from a crash —
+// or a corrupted record anywhere in the file — is detected and skipped by
+// recovery instead of taking the whole store down.
+//
+// Line format (one WAL entry):
+//
+//	jr1 <crc32-ieee, 8 hex digits> <entry JSON>\n
+//
+// The checksum covers exactly the JSON payload. JSON encoding never emits
+// raw newlines (strings are escaped, []byte is base64), so lines are a
+// safe framing unit.
+
+// walMagic tags the record-codec version; a future incompatible format
+// bumps it, and recovery skips lines it does not understand.
+const walMagic = "jr1"
+
+// DefaultCompactThreshold is the WAL size below which the file backend
+// never bothers compacting.
+const DefaultCompactThreshold = 1 << 20
+
+// walFileName is the log's name inside the data directory.
+const walFileName = "jobs.wal"
+
+// Entry is one WAL line: a record upsert or a deletion tombstone.
+type Entry struct {
+	// Op is "put" (Rec holds the record) or "del" (ID names the target).
+	Op  string  `json:"op"`
+	ID  string  `json:"id,omitempty"`
+	Rec *Record `json:"rec,omitempty"`
+}
+
+// EncodeEntry frames one entry as a checksummed WAL line, including the
+// trailing newline.
+func EncodeEntry(e Entry) ([]byte, error) {
+	switch e.Op {
+	case "put":
+		if e.Rec == nil || e.Rec.ID == "" {
+			return nil, fmt.Errorf("jobstore: put entry needs a record with an id")
+		}
+	case "del":
+		if e.ID == "" {
+			return nil, fmt.Errorf("jobstore: del entry needs an id")
+		}
+	default:
+		return nil, fmt.Errorf("jobstore: unknown entry op %q", e.Op)
+	}
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: encode entry: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(walMagic) + 10 + len(payload) + 1)
+	buf.WriteString(walMagic)
+	buf.WriteByte(' ')
+	fmt.Fprintf(&buf, "%08x", crc32.ChecksumIEEE(payload))
+	buf.WriteByte(' ')
+	buf.Write(payload)
+	buf.WriteByte('\n')
+	return buf.Bytes(), nil
+}
+
+// DecodeEntry parses one WAL line (with or without its trailing newline),
+// verifying the frame and checksum. Any deviation — wrong magic, short
+// line, checksum mismatch, malformed JSON, invalid op — is an error; the
+// caller decides whether to skip or abort.
+func DecodeEntry(line []byte) (Entry, error) {
+	line = bytes.TrimSuffix(line, []byte("\n"))
+	rest, ok := bytes.CutPrefix(line, []byte(walMagic+" "))
+	if !ok {
+		return Entry{}, fmt.Errorf("jobstore: not a %s line", walMagic)
+	}
+	if len(rest) < 9 || rest[8] != ' ' {
+		return Entry{}, fmt.Errorf("jobstore: truncated frame header")
+	}
+	var crcBytes [4]byte
+	if _, err := hex.Decode(crcBytes[:], rest[:8]); err != nil {
+		return Entry{}, fmt.Errorf("jobstore: bad checksum field: %w", err)
+	}
+	want := uint32(crcBytes[0])<<24 | uint32(crcBytes[1])<<16 | uint32(crcBytes[2])<<8 | uint32(crcBytes[3])
+	payload := rest[9:]
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return Entry{}, fmt.Errorf("jobstore: checksum mismatch (stored %08x, computed %08x)", want, got)
+	}
+	var e Entry
+	if err := json.Unmarshal(payload, &e); err != nil {
+		return Entry{}, fmt.Errorf("jobstore: entry JSON: %w", err)
+	}
+	switch e.Op {
+	case "put":
+		if e.Rec == nil || e.Rec.ID == "" {
+			return Entry{}, fmt.Errorf("jobstore: put entry without record id")
+		}
+	case "del":
+		if e.ID == "" {
+			return Entry{}, fmt.Errorf("jobstore: del entry without id")
+		}
+	default:
+		return Entry{}, fmt.Errorf("jobstore: unknown entry op %q", e.Op)
+	}
+	return e, nil
+}
+
+// Replay decodes a whole WAL image line by line. Corrupt or truncated
+// lines — the torn tail a SIGKILL mid-append leaves behind, or bit rot
+// anywhere else — are counted in skipped and otherwise ignored; recovery
+// never fails on bad data, it just loses the damaged entries.
+func Replay(data []byte) (entries []Entry, skipped int) {
+	for len(data) > 0 {
+		var line []byte
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			line, data = data, nil // truncated final line
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		e, err := DecodeEntry(line)
+		if err != nil {
+			skipped++
+			continue
+		}
+		entries = append(entries, e)
+	}
+	return entries, skipped
+}
+
+// File is the durable WAL-backed Store. Create with OpenFile; the same
+// directory reopened yields the same records (modulo skipped corruption).
+type File struct {
+	mu         sync.Mutex
+	dir        string
+	f          *os.File
+	recs       map[string]Record
+	order      []string
+	entryBytes map[string]int64 // encoded size of each id's latest entry
+	totalBytes int64            // bytes in the WAL file right now
+	skipped    int
+	compactMin int64
+	closed     bool
+}
+
+// OpenFile opens (creating if needed) the WAL-backed store in dir and
+// replays it. Corrupt entries are skipped, not fatal — Skipped reports how
+// many. If replay found enough garbage to warrant it, the store compacts
+// immediately so crash loops can't grow the file without bound.
+func OpenFile(dir string) (*File, error) {
+	return openFile(dir, DefaultCompactThreshold)
+}
+
+func openFile(dir string, compactMin int64) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobstore: data dir: %w", err)
+	}
+	path := filepath.Join(dir, walFileName)
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("jobstore: read WAL: %w", err)
+	}
+	entries, skipped := Replay(data)
+	fs := &File{
+		dir:        dir,
+		recs:       map[string]Record{},
+		entryBytes: map[string]int64{},
+		totalBytes: int64(len(data)),
+		skipped:    skipped,
+		compactMin: compactMin,
+	}
+	for _, e := range entries {
+		fs.applyLocked(e)
+	}
+	fs.f, err = os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: open WAL: %w", err)
+	}
+	if err := fs.maybeCompactLocked(); err != nil {
+		fs.f.Close()
+		return nil, err
+	}
+	return fs, nil
+}
+
+// applyLocked folds one replayed entry into the in-memory view.
+func (fs *File) applyLocked(e Entry) {
+	switch e.Op {
+	case "put":
+		r := *e.Rec
+		if _, ok := fs.recs[r.ID]; !ok {
+			fs.order = append(fs.order, r.ID)
+		}
+		fs.recs[r.ID] = r
+		// Sizes are only tracked for compaction heuristics; recomputing
+		// the exact encoding is not worth it, the JSON length is close.
+		if b, err := EncodeEntry(Entry{Op: "put", Rec: &r}); err == nil {
+			fs.entryBytes[r.ID] = int64(len(b))
+		}
+	case "del":
+		fs.dropLocked(e.ID)
+	}
+}
+
+func (fs *File) dropLocked(id string) {
+	if _, ok := fs.recs[id]; !ok {
+		return
+	}
+	delete(fs.recs, id)
+	delete(fs.entryBytes, id)
+	for i, oid := range fs.order {
+		if oid == id {
+			fs.order = append(fs.order[:i], fs.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// appendLocked writes one entry to the log, fsyncing when sync is set.
+func (fs *File) appendLocked(e Entry, sync bool) error {
+	b, err := EncodeEntry(e)
+	if err != nil {
+		return err
+	}
+	if _, err := fs.f.Write(b); err != nil {
+		return fmt.Errorf("jobstore: append WAL: %w", err)
+	}
+	fs.totalBytes += int64(len(b))
+	if e.Op == "put" {
+		fs.entryBytes[e.Rec.ID] = int64(len(b))
+	}
+	if sync {
+		if err := fs.f.Sync(); err != nil {
+			return fmt.Errorf("jobstore: fsync WAL: %w", err)
+		}
+	}
+	return nil
+}
+
+// Put appends the record to the log and updates the in-memory view. The
+// append is fsynced when it creates the record or changes its State — the
+// durability points that must survive a crash — while watermark-only
+// updates ride on the OS cache and may be lost to a crash (recovery then
+// just reports slightly older progress).
+func (fs *File) Put(r Record) error {
+	if r.ID == "" {
+		return fmt.Errorf("jobstore: record has no id")
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return fmt.Errorf("jobstore: store is closed")
+	}
+	prev, existed := fs.recs[r.ID]
+	sync := !existed || prev.State != r.State
+	rec := r.clone()
+	if err := fs.appendLocked(Entry{Op: "put", Rec: &rec}, sync); err != nil {
+		return err
+	}
+	if !existed {
+		fs.order = append(fs.order, r.ID)
+	}
+	fs.recs[r.ID] = rec
+	return fs.maybeCompactLocked()
+}
+
+// Get returns the record with the given id.
+func (fs *File) Get(id string) (Record, bool, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	r, ok := fs.recs[id]
+	if !ok {
+		return Record{}, false, nil
+	}
+	return r.clone(), true, nil
+}
+
+// List returns every record in first-Put order.
+func (fs *File) List() ([]Record, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]Record, 0, len(fs.recs))
+	for _, id := range fs.order {
+		if r, ok := fs.recs[id]; ok {
+			out = append(out, r.clone())
+		}
+	}
+	return out, nil
+}
+
+// Delete appends a tombstone (fsynced — a deletion is a state transition)
+// and removes the record. Deleting a missing id is a no-op.
+func (fs *File) Delete(id string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return fmt.Errorf("jobstore: store is closed")
+	}
+	if _, ok := fs.recs[id]; !ok {
+		return nil
+	}
+	if err := fs.appendLocked(Entry{Op: "del", ID: id}, true); err != nil {
+		return err
+	}
+	fs.dropLocked(id)
+	return fs.maybeCompactLocked()
+}
+
+// Backend returns "file".
+func (fs *File) Backend() string { return "file" }
+
+// Skipped reports how many corrupt WAL entries recovery had to skip when
+// the store was opened.
+func (fs *File) Skipped() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.skipped
+}
+
+// Close fsyncs and closes the log. The store rejects writes afterwards.
+func (fs *File) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil
+	}
+	fs.closed = true
+	if err := fs.f.Sync(); err != nil {
+		fs.f.Close()
+		return err
+	}
+	return fs.f.Close()
+}
+
+// liveBytesLocked is the encoded size of the live record set — what a
+// freshly compacted WAL would occupy.
+func (fs *File) liveBytesLocked() int64 {
+	var n int64
+	for _, b := range fs.entryBytes {
+		n += b
+	}
+	return n
+}
+
+// maybeCompactLocked rewrites the log down to the live record set when the
+// file is past the threshold and more than half garbage. The rewrite goes
+// through a temp file + fsync + atomic rename, so a crash mid-compaction
+// leaves either the old log or the new one, never a mix.
+func (fs *File) maybeCompactLocked() error {
+	live := fs.liveBytesLocked()
+	if fs.totalBytes < fs.compactMin || fs.totalBytes <= 2*live {
+		return nil
+	}
+	path := filepath.Join(fs.dir, walFileName)
+	tmp, err := os.CreateTemp(fs.dir, walFileName+".compact-*")
+	if err != nil {
+		return fmt.Errorf("jobstore: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	var written int64
+	for _, id := range fs.order {
+		rec := fs.recs[id]
+		b, err := EncodeEntry(Entry{Op: "put", Rec: &rec})
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		if _, err := tmp.Write(b); err != nil {
+			tmp.Close()
+			return fmt.Errorf("jobstore: compact write: %w", err)
+		}
+		written += int64(len(b))
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobstore: compact fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("jobstore: compact close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("jobstore: compact rename: %w", err)
+	}
+	old := fs.f
+	fs.f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	old.Close()
+	if err != nil {
+		return fmt.Errorf("jobstore: reopen after compact: %w", err)
+	}
+	fs.totalBytes = written
+	return nil
+}

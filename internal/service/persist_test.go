@@ -1,0 +1,618 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"adhocga"
+	"adhocga/internal/jobstore"
+)
+
+// newDurableServer builds a server over an explicit store so tests can
+// inspect — and tamper with — the records behind the API.
+func newDurableServer(t *testing.T, store jobstore.Store, opts Options, sessOpts ...adhocga.SessionOption) (*httptest.Server, *Server) {
+	t.Helper()
+	session := adhocga.NewSession(sessOpts...)
+	opts.Store = store
+	s := New(session, opts)
+	srv := httptest.NewServer(s)
+	t.Cleanup(func() {
+		srv.Close()
+		session.Close()
+	})
+	return srv, s
+}
+
+// waitRecord polls the store until the record reaches a terminal state —
+// i.e. until the persistence watcher has caught up with the finished job.
+func waitRecord(t *testing.T, store jobstore.Store, id string) jobstore.Record {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		rec, ok, err := store.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && jobstore.TerminalState(rec.State) {
+			return rec
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("record %s never reached a terminal state", id)
+	return jobstore.Record{}
+}
+
+func submitSmoke(t *testing.T, base string, parallelism int) JobInfo {
+	t.Helper()
+	body := fmt.Sprintf(`{"scenarios": %s, "scale": "smoke", "parallelism": %d}`, smokeSpec, parallelism)
+	code, resp := doJSON(t, http.MethodPost, base+"/v1/jobs", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, resp)
+	}
+	var info JobInfo
+	if err := json.Unmarshal(resp, &info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func verifyJob(t *testing.T, base, id string) (int, VerifyReport) {
+	t.Helper()
+	code, body := doJSON(t, http.MethodPost, base+"/v1/jobs/"+id+"/verify", "")
+	var rep VerifyReport
+	if code == http.StatusOK {
+		if err := json.Unmarshal(body, &rep); err != nil {
+			t.Fatalf("verify response: %v\n%s", err, body)
+		}
+	}
+	return code, rep
+}
+
+// firstDiff is the test's own divergence finder, independent of the
+// implementation's compareLogs.
+func firstDiff(a, b []byte) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	if len(a) != len(b) {
+		return n
+	}
+	return -1
+}
+
+// TestVerifyMatchByteCompare closes the durability loop on the happy path:
+// a finished deterministic job's record carries the full NDJSON event log
+// (byte-identical to what the streaming endpoint served), and verify
+// replays the job and confirms both the result digest and every byte of
+// the log.
+func TestVerifyMatchByteCompare(t *testing.T) {
+	store := jobstore.NewMem()
+	srv, _ := newDurableServer(t, store, Options{})
+	info := submitSmoke(t, srv.URL, 1)
+	waitState(t, srv.URL, info.ID)
+	rec := waitRecord(t, store, info.ID)
+	if rec.State != jobstore.StateDone || !rec.Deterministic {
+		t.Fatalf("record %+v", rec)
+	}
+	if len(rec.EventLog) == 0 || rec.ResultDigest == "" || rec.LogDigest == "" || rec.Events == 0 {
+		t.Fatalf("finished record missing artifacts: log=%dB events=%d resultDigest=%q logDigest=%q",
+			len(rec.EventLog), rec.Events, rec.ResultDigest, rec.LogDigest)
+	}
+
+	code, stream := doJSON(t, http.MethodGet, srv.URL+info.EventsURL, "")
+	if code != http.StatusOK || !bytes.Equal(stream, rec.EventLog) {
+		t.Fatalf("stored log deviates from the streamed one (%d; %d vs %d bytes)", code, len(stream), len(rec.EventLog))
+	}
+
+	code, rep := verifyJob(t, srv.URL, info.ID)
+	if code != http.StatusOK {
+		t.Fatalf("verify: %d", code)
+	}
+	if rep.Verdict != "match" || rep.Mode != "byte-compare" || !rep.ResultMatch {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.EventLog == nil || !rep.EventLog.Match || rep.EventLog.DivergenceOffset != -1 ||
+		rep.EventLog.StoredBytes != len(rec.EventLog) || rep.EventLog.ReplayedBytes != len(rec.EventLog) {
+		t.Fatalf("log report %+v", rep.EventLog)
+	}
+}
+
+// TestVerifyDetectsTampering flips single bytes in the stored artifacts —
+// the result digest, the event log, the spec itself — and demands verify
+// call each one out, with the divergence offset pointing at the right
+// byte.
+func TestVerifyDetectsTampering(t *testing.T) {
+	store := jobstore.NewMem()
+	srv, _ := newDurableServer(t, store, Options{})
+	info := submitSmoke(t, srv.URL, 1)
+	waitState(t, srv.URL, info.ID)
+	pristine := waitRecord(t, store, info.ID)
+	restore := func() {
+		if err := store.Put(pristine); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("result digest", func(t *testing.T) {
+		defer restore()
+		rec := pristine
+		flipped := []byte(rec.ResultDigest)
+		if flipped[0] == 'a' {
+			flipped[0] = 'b'
+		} else {
+			flipped[0] = 'a'
+		}
+		rec.ResultDigest = string(flipped)
+		if err := store.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		code, rep := verifyJob(t, srv.URL, info.ID)
+		if code != http.StatusOK {
+			t.Fatalf("verify: %d", code)
+		}
+		if rep.Verdict != "mismatch" || rep.ResultMatch {
+			t.Fatalf("tampered result digest not caught: %+v", rep)
+		}
+		// The log itself was untouched, so the log comparison still holds —
+		// the verdict isolates what was tampered.
+		if rep.EventLog == nil || !rep.EventLog.Match {
+			t.Fatalf("log report %+v", rep.EventLog)
+		}
+	})
+
+	t.Run("event log byte", func(t *testing.T) {
+		defer restore()
+		rec := pristine
+		rec.EventLog = append([]byte(nil), pristine.EventLog...)
+		const off = 17
+		rec.EventLog[off] ^= 0x01
+		if err := store.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		code, rep := verifyJob(t, srv.URL, info.ID)
+		if code != http.StatusOK {
+			t.Fatalf("verify: %d", code)
+		}
+		if rep.Verdict != "mismatch" || !rep.ResultMatch {
+			t.Fatalf("report %+v", rep)
+		}
+		if rep.EventLog == nil || rep.EventLog.Match || rep.EventLog.DivergenceOffset != off {
+			t.Fatalf("divergence offset: %+v, want %d", rep.EventLog, off)
+		}
+		if rep.EventLog.StoredAt == "" || rep.EventLog.ReplayedAt == "" || rep.EventLog.StoredAt == rep.EventLog.ReplayedAt {
+			t.Fatalf("divergence snippets %q / %q", rep.EventLog.StoredAt, rep.EventLog.ReplayedAt)
+		}
+	})
+
+	t.Run("spec byte", func(t *testing.T) {
+		defer restore()
+		rec := pristine
+		// Change the scenario seed inside the stored spec document: the
+		// replay now runs a genuinely different experiment against the
+		// original job's log.
+		tampered := strings.Replace(string(pristine.Spec), `"seed":42`, `"seed":43`, 1)
+		if tampered == string(pristine.Spec) {
+			t.Fatalf("seed not found in stored spec: %s", pristine.Spec)
+		}
+		rec.Spec = json.RawMessage(tampered)
+		if err := store.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+
+		// Compute the expected divergence point independently: replay the
+		// tampered spec in our own session and diff against the pristine log.
+		spec, err := specFromRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := adhocga.NewSession()
+		defer sess.Close()
+		j, err := sess.SubmitNamed(context.Background(), rec.ID, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var events []adhocga.Event
+		for e := range j.Events() {
+			events = append(events, e)
+		}
+		want := firstDiff(pristine.EventLog, eventLogNDJSON(events))
+		if want < 0 {
+			t.Fatal("seed change did not alter the event log — tamper test is vacuous")
+		}
+
+		code, rep := verifyJob(t, srv.URL, info.ID)
+		if code != http.StatusOK {
+			t.Fatalf("verify: %d", code)
+		}
+		if rep.Verdict != "mismatch" || rep.EventLog == nil || rep.EventLog.Match {
+			t.Fatalf("tampered spec not caught: %+v", rep)
+		}
+		if rep.EventLog.DivergenceOffset != want {
+			t.Fatalf("divergence offset %d, want %d", rep.EventLog.DivergenceOffset, want)
+		}
+	})
+}
+
+// TestVerifyDigestModes covers the jobs that can't byte-compare: parallel
+// submissions (event order is not reproducible, only results are) and jobs
+// whose event log outgrew the store cap (digest kept, bytes dropped). Both
+// still get a real verify verdict.
+func TestVerifyDigestModes(t *testing.T) {
+	t.Run("parallel job verifies by result digest", func(t *testing.T) {
+		store := jobstore.NewMem()
+		srv, _ := newDurableServer(t, store, Options{})
+		info := submitSmoke(t, srv.URL, 2)
+		waitState(t, srv.URL, info.ID)
+		rec := waitRecord(t, store, info.ID)
+		if rec.Deterministic || len(rec.EventLog) != 0 || rec.LogDigest != "" {
+			t.Fatalf("parallel record should carry no event log: %+v", rec)
+		}
+		code, rep := verifyJob(t, srv.URL, info.ID)
+		if code != http.StatusOK {
+			t.Fatalf("verify: %d", code)
+		}
+		if rep.Verdict != "match" || rep.Mode != "digest" || !rep.ResultMatch || rep.EventLog != nil {
+			t.Fatalf("report %+v", rep)
+		}
+	})
+
+	t.Run("oversized log verifies by log digest", func(t *testing.T) {
+		store := jobstore.NewMem()
+		srv, _ := newDurableServer(t, store, Options{MaxStoredLogBytes: 1})
+		info := submitSmoke(t, srv.URL, 1)
+		waitState(t, srv.URL, info.ID)
+		rec := waitRecord(t, store, info.ID)
+		if len(rec.EventLog) != 0 || rec.LogDigest == "" {
+			t.Fatalf("capped record should keep digest only: log=%dB digest=%q", len(rec.EventLog), rec.LogDigest)
+		}
+		// In a later process the job is store-only and its archived replay
+		// was never kept: the events endpoint says so and points at verify.
+		srv2, _ := newDurableServer(t, store, Options{MaxStoredLogBytes: 1})
+		code, body := doJSON(t, http.MethodGet, srv2.URL+info.EventsURL, "")
+		if code != http.StatusGone || !strings.Contains(string(body), "verify") {
+			t.Fatalf("events for dropped log: %d %s", code, body)
+		}
+		code, rep := verifyJob(t, srv2.URL, info.ID)
+		if code != http.StatusOK {
+			t.Fatalf("verify: %d", code)
+		}
+		if rep.Verdict != "match" || rep.Mode != "byte-compare" {
+			t.Fatalf("report %+v", rep)
+		}
+		if rep.EventLog == nil || !rep.EventLog.Match || rep.EventLog.StoredBytes != -1 || rep.EventLog.ReplayedBytes == 0 {
+			t.Fatalf("log report %+v", rep.EventLog)
+		}
+	})
+}
+
+// TestVerifyRequiresDoneJob pins the endpoint's refusals: unknown jobs are
+// 404, jobs that did not finish successfully are 409.
+func TestVerifyRequiresDoneJob(t *testing.T) {
+	store := jobstore.NewMem()
+	srv, _ := newDurableServer(t, store, Options{}, adhocga.WithPoolSize(1))
+
+	if code, _ := verifyJob(t, srv.URL, "job-99"); code != http.StatusNotFound {
+		t.Fatalf("missing job verify: %d", code)
+	}
+
+	code, body := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs",
+		fmt.Sprintf(`{"scenarios": %s, "scale": "smoke", "parallelism": 1}`, longSpec))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var info JobInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := verifyJob(t, srv.URL, info.ID); code != http.StatusConflict {
+		t.Fatalf("running job verify: %d", code)
+	}
+	if code, _ := doJSON(t, http.MethodDelete, srv.URL+"/v1/jobs/"+info.ID, ""); code != http.StatusAccepted {
+		t.Fatalf("cancel: %d", code)
+	}
+	waitState(t, srv.URL, info.ID)
+	waitRecord(t, store, info.ID)
+	if code, _ := verifyJob(t, srv.URL, info.ID); code != http.StatusConflict {
+		t.Fatalf("cancelled job verify: %d", code)
+	}
+}
+
+// TestRecoverAcrossRestart is the in-process restart drill (the SIGKILL
+// version lives in cmd/adhocd): a file-backed service finishes one job and
+// leaves one unfinished, the process "dies", and a second service over the
+// same directory must (a) serve the finished job's status, results, and
+// archived byte-exact replay without recompute, (b) re-run the unfinished
+// job to the same result digest, (c) keep allocating IDs after the
+// persisted ones, and (d) report all of it on /healthz.
+func TestRecoverAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	// First life: run one job to completion.
+	store1, err := jobstore.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess1 := adhocga.NewSession()
+	srv1 := httptest.NewServer(New(sess1, Options{Store: store1}))
+	info := submitSmoke(t, srv1.URL, 1)
+	waitState(t, srv1.URL, info.ID)
+	done := waitRecord(t, store1, info.ID)
+	srv1.Close()
+	sess1.Close()
+	if err := store1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plant an unfinished record, as a crash mid-job would leave behind:
+	// same spec, caught at state running with some progress reported.
+	store2, err := jobstore.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfinished := done
+	unfinished.ID = "job-2"
+	unfinished.State = jobstore.StateRunning
+	unfinished.Watermark = 3
+	unfinished.Events = 0
+	unfinished.Result = nil
+	unfinished.ResultDigest = ""
+	unfinished.EventLog = nil
+	unfinished.LogDigest = ""
+	if err := store2.Put(unfinished); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: recover, then serve.
+	sess2 := adhocga.NewSession()
+	s2 := New(sess2, Options{Store: store2, Version: "test-build"})
+	recovered, resumed, err := s2.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 2 || resumed != 1 {
+		t.Fatalf("recovered %d resumed %d, want 2/1", recovered, resumed)
+	}
+	srv2 := httptest.NewServer(s2)
+	t.Cleanup(func() {
+		srv2.Close()
+		sess2.Close()
+		store2.Close()
+	})
+
+	code, body := doJSON(t, http.MethodGet, srv2.URL+"/healthz", "")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	var health map[string]any
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" || health["version"] != "test-build" || health["store"] != "file" ||
+		health["recovered_jobs"] != float64(2) || health["resumed_jobs"] != float64(1) {
+		t.Fatalf("healthz %s", body)
+	}
+
+	// (a) The finished job is served from its record — state, results, and
+	// the byte-exact archived replay — with no live session handle behind it.
+	statusInfo := waitState(t, srv2.URL, done.ID)
+	if statusInfo.State != jobstore.StateDone || len(statusInfo.Results) != 1 {
+		t.Fatalf("recovered status %+v", statusInfo)
+	}
+	code, stream := doJSON(t, http.MethodGet, srv2.URL+"/v1/jobs/"+done.ID+"/events", "")
+	if code != http.StatusOK || !bytes.Equal(stream, done.EventLog) {
+		t.Fatalf("archived replay: %d, %d vs %d bytes", code, len(stream), len(done.EventLog))
+	}
+	if _, live := sess2.Job(done.ID); live {
+		t.Fatal("finished job was re-submitted instead of served from the store")
+	}
+
+	// (b) The resumed job re-runs to completion; determinism makes its
+	// result digest identical to the first life's run of the same spec.
+	waitState(t, srv2.URL, unfinished.ID)
+	rec2 := waitRecord(t, store2, unfinished.ID)
+	if rec2.State != jobstore.StateDone {
+		t.Fatalf("resumed job ended %q (%s)", rec2.State, rec2.Error)
+	}
+	if rec2.ResultDigest != done.ResultDigest {
+		t.Fatalf("resumed result digest %s deviates from the original %s", rec2.ResultDigest, done.ResultDigest)
+	}
+
+	// Both generations of job verify clean in the second process.
+	for _, id := range []string{done.ID, unfinished.ID} {
+		code, rep := verifyJob(t, srv2.URL, id)
+		if code != http.StatusOK || rep.Verdict != "match" {
+			t.Fatalf("verify %s after restart: %d %+v", id, code, rep)
+		}
+	}
+
+	// (c) Fresh submissions continue the persisted ID sequence.
+	if next := submitSmoke(t, srv2.URL, 1); next.ID != "job-3" {
+		t.Fatalf("post-restart id %q, want job-3", next.ID)
+	}
+
+	// (d) The list is the store's full history, in submission order.
+	code, body = doJSON(t, http.MethodGet, srv2.URL+"/v1/jobs", "")
+	if code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	var list struct {
+		Jobs []JobInfo `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 3 || list.Jobs[0].ID != "job-1" || list.Jobs[1].ID != "job-2" || list.Jobs[2].ID != "job-3" {
+		t.Fatalf("list %+v", list.Jobs)
+	}
+}
+
+// failingStore errors on writes — the backend going bad under the service.
+type failingStore struct{ jobstore.Store }
+
+func (f failingStore) Put(jobstore.Record) error {
+	return fmt.Errorf("disk on fire")
+}
+
+// TestSubmitStoreFailures pins the durability-before-acceptance contract:
+// a submission the store cannot persist is refused (no unrecoverable job
+// ever runs), and one the session refuses leaves a failed record behind.
+func TestSubmitStoreFailures(t *testing.T) {
+	t.Run("store write failure refuses the job", func(t *testing.T) {
+		srv, _ := newDurableServer(t, failingStore{jobstore.NewMem()}, Options{})
+		code, body := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs",
+			fmt.Sprintf(`{"scenarios": %s, "scale": "smoke"}`, smokeSpec))
+		if code != http.StatusInternalServerError || !strings.Contains(string(body), "persist") {
+			t.Fatalf("submit with broken store: %d %s", code, body)
+		}
+	})
+
+	t.Run("session refusal marks the record failed", func(t *testing.T) {
+		store := jobstore.NewMem()
+		session := adhocga.NewSession()
+		srv := httptest.NewServer(New(session, Options{Store: store}))
+		t.Cleanup(srv.Close)
+		session.Close() // submissions now fail at the session
+		code, _ := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs",
+			fmt.Sprintf(`{"scenarios": %s, "scale": "smoke"}`, smokeSpec))
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("submit on closed session: %d", code)
+		}
+		rec, ok, err := store.Get("job-1")
+		if err != nil || !ok || rec.State != jobstore.StateFailed || rec.Error == "" {
+			t.Fatalf("refused submission record: %+v (%v %v)", rec, ok, err)
+		}
+	})
+
+	t.Run("oversized body", func(t *testing.T) {
+		srv, _ := newDurableServer(t, jobstore.NewMem(), Options{MaxBodyBytes: 16})
+		code, _ := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs",
+			fmt.Sprintf(`{"scenarios": %s}`, smokeSpec))
+		if code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("oversized submit: %d", code)
+		}
+	})
+}
+
+// TestVerifyEdgeCases walks the endpoint's remaining branches: waiting out
+// a record that lags its finished job, a truncated stored log, and a
+// record whose spec no longer parses.
+func TestVerifyEdgeCases(t *testing.T) {
+	store := jobstore.NewMem()
+	srv, s := newDurableServer(t, store, Options{})
+	info := submitSmoke(t, srv.URL, 1)
+	waitState(t, srv.URL, info.ID)
+	pristine := waitRecord(t, store, info.ID)
+	restore := func() {
+		if err := store.Put(pristine); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("watcher channel closes at persistence", func(t *testing.T) {
+		done := s.watcherDone(info.ID)
+		if done == nil {
+			t.Fatal("no watcher registered for a submitted job")
+		}
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("watcher channel never closed after the record went terminal")
+		}
+	})
+
+	t.Run("stale running record waits then refuses", func(t *testing.T) {
+		defer restore()
+		// Regress the record to running while the live job is long done and
+		// the watcher has finished: verify must take the wait branch, re-read,
+		// and refuse the still-non-done record instead of replaying garbage.
+		rec := pristine
+		rec.State = jobstore.StateRunning
+		if err := store.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		if code, _ := verifyJob(t, srv.URL, info.ID); code != http.StatusConflict {
+			t.Fatalf("stale running record verify: %d", code)
+		}
+	})
+
+	t.Run("truncated stored log diverges at its end", func(t *testing.T) {
+		defer restore()
+		rec := pristine
+		cut := len(pristine.EventLog) / 2
+		rec.EventLog = append([]byte(nil), pristine.EventLog[:cut]...)
+		if err := store.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		code, rep := verifyJob(t, srv.URL, info.ID)
+		if code != http.StatusOK {
+			t.Fatalf("verify: %d", code)
+		}
+		if rep.Verdict != "mismatch" || rep.EventLog == nil || rep.EventLog.DivergenceOffset != cut {
+			t.Fatalf("truncated log report %+v", rep.EventLog)
+		}
+		if rep.EventLog.StoredAt != "" || rep.EventLog.ReplayedAt == "" {
+			t.Fatalf("snippets %q / %q — stored side ends at the divergence", rep.EventLog.StoredAt, rep.EventLog.ReplayedAt)
+		}
+	})
+
+	t.Run("unparseable spec is a server error", func(t *testing.T) {
+		defer restore()
+		rec := pristine
+		rec.Spec = json.RawMessage(`{"scenarios": 7}`)
+		if err := store.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		if code, _ := verifyJob(t, srv.URL, info.ID); code != http.StatusInternalServerError {
+			t.Fatalf("corrupt spec verify: %d", code)
+		}
+	})
+}
+
+// TestRecoverMarksUnrunnableRecordsFailed: an unfinished record whose spec
+// cannot be parsed anymore is marked failed (and stays visible) instead of
+// crash-looping the recovery pass.
+func TestRecoverMarksUnrunnableRecordsFailed(t *testing.T) {
+	store := jobstore.NewMem()
+	if err := store.Put(jobstore.Record{ID: "job-1", Kind: "scenarios", State: jobstore.StateRunning}); err != nil {
+		t.Fatal(err)
+	}
+	session := adhocga.NewSession()
+	t.Cleanup(session.Close)
+	s := New(session, Options{Store: store})
+	recovered, resumed, err := s.Recover(context.Background())
+	if err != nil || recovered != 1 || resumed != 0 {
+		t.Fatalf("recover: %d/%d %v", recovered, resumed, err)
+	}
+	rec, _, _ := store.Get("job-1")
+	if rec.State != jobstore.StateFailed || !strings.Contains(rec.Error, "recovery") {
+		t.Fatalf("unrunnable record %+v", rec)
+	}
+}
+
+// TestHealthzDefaults pins the health document for an out-of-the-box
+// server: dev build, memory store, nothing recovered.
+func TestHealthzDefaults(t *testing.T) {
+	srv, _ := newTestServer(t)
+	code, body := doJSON(t, http.MethodGet, srv.URL+"/healthz", "")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	var health map[string]any
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" || health["version"] != "dev" || health["store"] != "mem" ||
+		health["recovered_jobs"] != float64(0) || health["resumed_jobs"] != float64(0) {
+		t.Fatalf("healthz %s", body)
+	}
+}

@@ -14,8 +14,22 @@
 //	GET    /v1/jobs/{id}        job status (+ per-scenario results when done)
 //	GET    /v1/jobs/{id}/events stream events as NDJSON (or SSE via Accept)
 //	GET    /v1/jobs/{id}/ws     stream events over WebSocket (live fan-out)
+//	POST   /v1/jobs/{id}/verify replay a finished job and compare (see verify.go)
 //	DELETE /v1/jobs/{id}        cancel the job cooperatively
-//	GET    /healthz             liveness
+//	GET    /healthz             liveness + build/store/recovery report
+//
+// # Durability
+//
+// Every submission is persisted to a jobstore.Store (Options.Store; the
+// in-memory backend by default, the WAL-backed file backend under adhocd
+// -store file) as a record of (id, spec JSON, seed, state, progress
+// watermark) — and, once finished, the result summary, its SHA-256
+// digest, and (for parallelism-1 jobs whose full history the streaming
+// hub still retained) the complete NDJSON event replay. Recover, called
+// once at startup, re-submits every unfinished record from its recorded
+// (seed, spec) — the determinism contract makes the re-run bit-identical
+// to the lost one — and leaves finished records to serve status, results,
+// and archived event replays without recompute. See persist.go.
 //
 // The submit body is either bare scenario-spec JSON (one object or an
 // array — exactly what LoadScenarios accepts) or a wrapper object
@@ -57,10 +71,12 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"adhocga"
 	"adhocga/internal/experiment"
+	"adhocga/internal/jobstore"
 	"adhocga/internal/scenario"
 	"adhocga/internal/ws"
 )
@@ -82,6 +98,19 @@ type Options struct {
 	// reverse proxies don't sever quiet streams. ≤0 means 15s; set it
 	// very large to effectively disable keepalives.
 	KeepaliveInterval time.Duration
+	// Store persists job records across restarts. nil means a fresh
+	// in-memory store — the pre-durability behavior, with verify still
+	// available for jobs finished in this process.
+	Store jobstore.Store
+	// Version is the build identifier /healthz reports ("" means "dev").
+	Version string
+	// MaxStoredLogBytes caps how large an event log a finished job's
+	// record may embed; bigger logs keep only their digest. ≤0 means
+	// 4 MiB.
+	MaxStoredLogBytes int64
+	// Logf receives persistence diagnostics (store write failures,
+	// recovery notes). nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // Server routes the v1 API onto a Session. Create with New; it implements
@@ -91,10 +120,21 @@ type Server struct {
 	session *adhocga.Session
 	opts    Options
 	mux     *http.ServeMux
+	store   jobstore.Store
 
 	// newTicker is the keepalive clock, swappable by tests: it returns a
 	// tick channel firing every d plus a stop function.
 	newTicker func(d time.Duration) (<-chan time.Time, func())
+
+	// mu guards the durable-tier bookkeeping: the external job-ID
+	// sequence (seeded from the store so IDs stay unique across
+	// restarts), the per-job persistence watchers, and the recovery
+	// counters /healthz reports.
+	mu        sync.Mutex
+	nextID    int
+	watchers  map[string]chan struct{}
+	recovered int
+	resumed   int
 }
 
 // New builds a Server over the given session.
@@ -105,7 +145,26 @@ func New(session *adhocga.Session, opts Options) *Server {
 	if opts.KeepaliveInterval <= 0 {
 		opts.KeepaliveInterval = 15 * time.Second
 	}
-	s := &Server{session: session, opts: opts, mux: http.NewServeMux()}
+	if opts.MaxStoredLogBytes <= 0 {
+		opts.MaxStoredLogBytes = 4 << 20
+	}
+	if opts.Version == "" {
+		opts.Version = "dev"
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if opts.Store == nil {
+		opts.Store = jobstore.NewMem()
+	}
+	s := &Server{
+		session:  session,
+		opts:     opts,
+		mux:      http.NewServeMux(),
+		store:    opts.Store,
+		watchers: map[string]chan struct{}{},
+	}
+	s.nextID = s.maxStoredID()
 	s.newTicker = func(d time.Duration) (<-chan time.Time, func()) {
 		t := time.NewTicker(d)
 		return t.C, t.Stop
@@ -115,11 +174,52 @@ func New(session *adhocga.Session, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/ws", s.handleWS)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/verify", s.handleVerify)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
+}
+
+// handleHealthz reports liveness plus the durable tier's identity: the
+// build version, which store backend is configured, and how many jobs the
+// startup Recover pass loaded and resumed.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	recovered, resumed := s.recovered, s.resumed
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"version":        s.opts.Version,
+		"store":          s.store.Backend(),
+		"recovered_jobs": recovered,
+		"resumed_jobs":   resumed,
+	})
+}
+
+// maxStoredID scans the store for the highest job-N suffix so freshly
+// allocated IDs never collide with persisted ones.
+func (s *Server) maxStoredID() int {
+	recs, err := s.store.List()
+	if err != nil {
+		s.opts.Logf("service: list store for id seed: %v", err)
+		return 0
+	}
+	max := 0
+	for _, rec := range recs {
+		var n int
+		if _, err := fmt.Sscanf(rec.ID, "job-%d", &n); err == nil && n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// allocID returns the next external job ID.
+func (s *Server) allocID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	return fmt.Sprintf("job-%d", s.nextID)
 }
 
 // ServeHTTP implements http.Handler.
@@ -149,6 +249,7 @@ type JobInfo struct {
 	StatusURL string `json:"status_url"`
 	EventsURL string `json:"events_url"`
 	WSURL     string `json:"ws_url"`
+	VerifyURL string `json:"verify_url"`
 }
 
 // ScenarioResult is one scenario's headline numbers in a finished job.
@@ -170,21 +271,55 @@ func (s *Server) info(j *adhocga.Job) JobInfo {
 		StatusURL: "/v1/jobs/" + j.ID(),
 		EventsURL: "/v1/jobs/" + j.ID() + "/events",
 		WSURL:     "/v1/jobs/" + j.ID() + "/ws",
+		VerifyURL: "/v1/jobs/" + j.ID() + "/verify",
 	}
 	if err := j.Err(); err != nil {
 		info.Error = err.Error()
 	}
-	if results, ok := j.Result().([]*experiment.CaseResult); ok {
-		for _, res := range results {
-			info.Results = append(info.Results, ScenarioResult{
-				Name:          res.Case.Name,
-				FinalCoopMean: res.FinalCoop.Mean,
-				FinalCoopStd:  res.FinalCoop.StdDev,
-				FinalEnvCoop:  res.FinalMeanEnvCoop.Mean,
-				Generations:   res.Scale.Generations,
-				Repetitions:   res.Scale.Repetitions,
-			})
-		}
+	info.Results = resultsOf(j)
+	return info
+}
+
+// resultsOf summarizes a finished job's per-scenario results (nil while
+// running or for failed jobs). The summary — not the raw result — is what
+// the durable record digests, so verify verdicts are about the numbers a
+// client actually received.
+func resultsOf(j *adhocga.Job) []ScenarioResult {
+	results, ok := j.Result().([]*experiment.CaseResult)
+	if !ok {
+		return nil
+	}
+	out := make([]ScenarioResult, 0, len(results))
+	for _, res := range results {
+		out = append(out, ScenarioResult{
+			Name:          res.Case.Name,
+			FinalCoopMean: res.FinalCoop.Mean,
+			FinalCoopStd:  res.FinalCoop.StdDev,
+			FinalEnvCoop:  res.FinalMeanEnvCoop.Mean,
+			Generations:   res.Scale.Generations,
+			Repetitions:   res.Scale.Repetitions,
+		})
+	}
+	return out
+}
+
+// infoFromRecord is info for a job that lives only in the store — one
+// recovered from a previous process. Terminal, by construction: running
+// jobs are always in the session.
+func infoFromRecord(rec jobstore.Record) JobInfo {
+	info := JobInfo{
+		ID:        rec.ID,
+		Kind:      rec.Kind,
+		State:     rec.State,
+		Events:    rec.Events,
+		Error:     rec.Error,
+		StatusURL: "/v1/jobs/" + rec.ID,
+		EventsURL: "/v1/jobs/" + rec.ID + "/events",
+		WSURL:     "/v1/jobs/" + rec.ID + "/ws",
+		VerifyURL: "/v1/jobs/" + rec.ID + "/verify",
+	}
+	if len(rec.Result) > 0 {
+		_ = json.Unmarshal(rec.Result, &info.Results)
 	}
 	return info
 }
@@ -207,18 +342,87 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	specs, err := scenario.Load(bytes.NewReader(req.Scenarios))
+	sp, err := s.resolveSubmit(req)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "scenarios: %v", err)
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	jobSpec, err := sp.jobSpec()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Durability before acceptance: the queued record (with the full
+	// resolved spec — everything a later process needs to re-run the job
+	// bit-identically) must be on disk before the 202 goes out, so a
+	// crash at any later point can always recover the job.
+	rec, err := newRecord(s.allocID(), sp)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if err := s.store.Put(rec); err != nil {
+		httpError(w, http.StatusInternalServerError, "persist job: %v", err)
+		return
+	}
+	// The job must outlive this request, so it derives from the
+	// background context; its true lifetime bound is the session (Close
+	// cancels it) and DELETE /v1/jobs/{id}.
+	job, err := s.session.SubmitNamed(context.WithoutCancel(r.Context()), rec.ID, jobSpec)
+	if err != nil {
+		rec.State = jobstore.StateFailed
+		rec.Error = err.Error()
+		if perr := s.store.Put(rec); perr != nil {
+			s.opts.Logf("service: persist failed submit %s: %v", rec.ID, perr)
+		}
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.watch(rec, job)
+	writeJSON(w, http.StatusAccepted, s.info(job))
+}
+
+// resolvedSubmit is a submission with every server-side default folded
+// in: the scale resolved to a concrete struct, seed and parallelism
+// pinned. Its JSON form is the record's spec — a later process replays
+// the job from this document alone, regardless of how that process's own
+// defaults are configured.
+type resolvedSubmit struct {
+	Scenarios   json.RawMessage `json:"scenarios"`
+	Scale       adhocga.Scale   `json:"scale"`
+	Seed        uint64          `json:"seed,omitempty"`
+	Parallelism int             `json:"parallelism,omitempty"`
+}
+
+// resolveSubmit validates the request and folds in the server defaults.
+func (s *Server) resolveSubmit(req SubmitRequest) (resolvedSubmit, error) {
+	if _, err := scenario.Load(bytes.NewReader(req.Scenarios)); err != nil {
+		return resolvedSubmit{}, fmt.Errorf("scenarios: %w", err)
 	}
 	defaults := s.opts.DefaultScale
 	if req.Scale != "" {
+		var err error
 		defaults, err = experiment.ScaleByName(req.Scale)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
+			return resolvedSubmit{}, err
 		}
+	}
+	if defaults == (adhocga.Scale{}) {
+		defaults = s.session.DefaultScale()
+	}
+	return resolvedSubmit{
+		Scenarios:   req.Scenarios,
+		Scale:       defaults,
+		Seed:        req.Seed,
+		Parallelism: req.Parallelism,
+	}, nil
+}
+
+// jobSpec builds the session workload from a resolved submission.
+func (sp resolvedSubmit) jobSpec() (adhocga.ScenariosSpec, error) {
+	specs, err := scenario.Load(bytes.NewReader(sp.Scenarios))
+	if err != nil {
+		return adhocga.ScenariosSpec{}, fmt.Errorf("scenarios: %w", err)
 	}
 	// Load has already validated every spec's structure; interaction
 	// errors (tournament size vs population, island divisibility) surface
@@ -227,20 +431,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	for i, spec := range specs {
 		runs[i] = experiment.ScenarioRun{Spec: spec}
 	}
-	// The job must outlive this request, so it derives from the
-	// background context; its true lifetime bound is the session (Close
-	// cancels it) and DELETE /v1/jobs/{id}.
-	job, err := s.session.Submit(context.WithoutCancel(r.Context()),
-		adhocga.ScenariosSpec{
-			Runs:     runs,
-			Defaults: defaults,
-			Opts:     experiment.Options{Seed: req.Seed, Parallelism: req.Parallelism},
-		})
-	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusAccepted, s.info(job))
+	return adhocga.ScenariosSpec{
+		Runs:     runs,
+		Defaults: sp.Scale,
+		Opts:     experiment.Options{Seed: sp.Seed, Parallelism: sp.Parallelism},
+	}, nil
 }
 
 // parseSubmit accepts both body shapes: the wrapper object (detected by a
@@ -270,34 +465,67 @@ func parseSubmit(body []byte) (SubmitRequest, error) {
 	return SubmitRequest{Scenarios: trimmed}, nil
 }
 
+// handleList merges the store's view (the spine: submission order across
+// the store's whole lifetime, including jobs finished by an earlier
+// process) with live session handles, which win while a job runs.
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	jobs := s.session.Jobs()
-	out := make([]JobInfo, len(jobs))
-	for i, j := range jobs {
-		out[i] = s.info(j)
+	out := []JobInfo{}
+	seen := map[string]bool{}
+	if recs, err := s.store.List(); err == nil {
+		for _, rec := range recs {
+			seen[rec.ID] = true
+			if j, ok := s.session.Job(rec.ID); ok {
+				out = append(out, s.info(j))
+			} else {
+				out = append(out, infoFromRecord(rec))
+			}
+		}
+	}
+	// Jobs the session knows but the store doesn't (submitted around the
+	// service, or evicted records) still list.
+	for _, j := range s.session.Jobs() {
+		if !seen[j.ID()] {
+			out = append(out, s.info(j))
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
 }
 
-func (s *Server) job(w http.ResponseWriter, r *http.Request) (*adhocga.Job, bool) {
+// lookup resolves a job id to its live handle (preferred) or its stored
+// record. A 404 has already been written when both come back empty.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*adhocga.Job, jobstore.Record, bool) {
 	id := r.PathValue("id")
-	j, ok := s.session.Job(id)
-	if !ok {
-		httpError(w, http.StatusNotFound, "no job %q", id)
-		return nil, false
+	if j, ok := s.session.Job(id); ok {
+		return j, jobstore.Record{}, true
 	}
-	return j, true
+	if rec, ok, err := s.store.Get(id); err == nil && ok {
+		return nil, rec, true
+	}
+	httpError(w, http.StatusNotFound, "no job %q", id)
+	return nil, jobstore.Record{}, false
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	if j, ok := s.job(w, r); ok {
-		writeJSON(w, http.StatusOK, s.info(j))
+	j, rec, ok := s.lookup(w, r)
+	if !ok {
+		return
 	}
+	if j != nil {
+		writeJSON(w, http.StatusOK, s.info(j))
+		return
+	}
+	writeJSON(w, http.StatusOK, infoFromRecord(rec))
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.job(w, r)
+	j, rec, ok := s.lookup(w, r)
 	if !ok {
+		return
+	}
+	if j == nil {
+		// Store-only jobs are terminal; cancelling one is the same no-op
+		// as cancelling a finished live job.
+		writeJSON(w, http.StatusAccepted, infoFromRecord(rec))
 		return
 	}
 	j.Cancel()
@@ -309,8 +537,23 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // when the client asks for text/event-stream (live viewer: `id:` framed,
 // Last-Event-ID resume, drop-to-snapshot resync, `: ping` keepalives).
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.job(w, r)
+	j, rec, ok := s.lookup(w, r)
 	if !ok {
+		return
+	}
+	if j == nil {
+		// Recovered finished job: serve the archived NDJSON replay from
+		// the record — byte-identical to what the original process
+		// streamed. Jobs that outgrew log retention keep only digests;
+		// verify can still re-derive and check the replay.
+		if len(rec.EventLog) == 0 {
+			httpError(w, http.StatusGone, "job %s: event log not retained; POST %s to re-derive and check the replay",
+				rec.ID, "/v1/jobs/"+rec.ID+"/verify")
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(rec.EventLog)
 		return
 	}
 	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
@@ -391,8 +634,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 // terminal event and code 4001 (CloseSlowSubscriber) on a backpressure
 // eviction. Client data frames are ignored; pings are answered.
 func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.job(w, r)
+	j, rec, ok := s.lookup(w, r)
 	if !ok {
+		return
+	}
+	if j == nil {
+		httpError(w, http.StatusConflict,
+			"job %s was recovered from the store and has no live stream; GET its events instead", rec.ID)
 		return
 	}
 	opts := adhocga.SubscribeOptions{Live: true, Policy: adhocga.DropResync}

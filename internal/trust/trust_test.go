@@ -227,6 +227,63 @@ func TestPathRatesFeedPathRating(t *testing.T) {
 	}
 }
 
+// TestRatePathsMatchesTwoWalkForm pins the documented equivalence: the
+// fused RatePaths walk and the RatesForPaths + network.RatePath two-walk
+// form produce bit-identical ratings, including for intermediates that
+// are unknown, out of the dense range, or still dirty.
+func TestRatePathsMatchesTwoWalkForm(t *testing.T) {
+	build := func() *Store {
+		s := NewStore()
+		s.Observe(1, true) // rate 1.0
+		s.Observe(2, false)
+		s.Observe(2, true) // rate 0.5
+		s.Observe(4, true)
+		s.Observe(4, false)
+		s.Observe(4, false) // rate 1/3
+		return s
+	}
+	paths := []network.Path{
+		{Src: 0, Dst: 9, Intermediates: []network.NodeID{1, 2}},
+		{Src: 0, Dst: 9, Intermediates: []network.NodeID{2, 4, 7}}, // 7: beyond the dense view
+		{Src: 0, Dst: 9, Intermediates: []network.NodeID{0}},       // in range, never observed
+		{Src: 0, Dst: 9, Intermediates: nil},                       // empty product = 1
+	}
+
+	// Two-walk form on one store (flushes exactly the records the paths
+	// read)…
+	twoWalk := build()
+	rates := twoWalk.RatesForPaths(paths)
+	want := make([]float64, len(paths))
+	for i, p := range paths {
+		want[i] = network.RatePath(p, rates)
+	}
+	// …fused walk on an identically-built fresh store, so both start from
+	// the same dirty state.
+	fused := build()
+	got := fused.RatePaths(paths, nil)
+	for i := range paths {
+		if got[i] != want[i] {
+			t.Errorf("path %d: fused %v, two-walk %v", i, got[i], want[i])
+		}
+	}
+	if got[0] != 0.5 || got[3] != 1.0 {
+		t.Errorf("ratings %v: want path0 1.0*0.5, empty path 1.0", got)
+	}
+
+	// A caller-owned ratings slice with capacity is reused, not
+	// reallocated.
+	buf := make([]float64, 0, len(paths))
+	if out := fused.RatePaths(paths, buf); &out[0] != &buf[:1][0] {
+		t.Error("RatePaths reallocated despite sufficient capacity")
+	}
+}
+
+func TestTrustTableRoundTrip(t *testing.T) {
+	if got := NewStore().TrustTable(); got != DefaultTable() {
+		t.Errorf("TrustTable() = %+v, want the default table", got)
+	}
+}
+
 // Property: ForwardingRate is always in [0,1] and MeanForwards equals the
 // mean of per-node pf counters.
 func TestStoreInvariantsProperty(t *testing.T) {

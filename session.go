@@ -143,6 +143,18 @@ func (s *Session) scaleOr(sc Scale) Scale {
 // next generation barrier. Submit itself never blocks on capacity — a job
 // past the session's concurrent-job bound waits in state JobQueued.
 func (s *Session) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
+	return s.SubmitNamed(ctx, "", spec)
+}
+
+// SubmitNamed is Submit with a caller-chosen job ID instead of the
+// session's sequential "job-N" (an empty id falls back to that default).
+// The ID appears verbatim in every event the job emits, which is what
+// makes replays comparable across processes: a durable service resuming a
+// persisted job after a restart — or re-running one to verify it —
+// submits under the original ID and gets a byte-identical event stream,
+// not one reindexed by a fresh session's counter. Submitting an ID the
+// session already knows (including a retained terminal job) is an error.
+func (s *Session) SubmitNamed(ctx context.Context, id string, spec JobSpec) (*Job, error) {
 	if spec == nil {
 		return nil, fmt.Errorf("adhocga: nil job spec")
 	}
@@ -151,8 +163,20 @@ func (s *Session) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("adhocga: session is closed")
 	}
-	s.nextID++
-	j := newJob(fmt.Sprintf("job-%d", s.nextID), spec.Kind(), s.hubCfg)
+	if id == "" {
+		// Auto IDs skip over any names already taken by SubmitNamed.
+		for {
+			s.nextID++
+			id = fmt.Sprintf("job-%d", s.nextID)
+			if _, taken := s.jobs[id]; !taken {
+				break
+			}
+		}
+	} else if _, taken := s.jobs[id]; taken {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("adhocga: job id %q already exists", id)
+	}
+	j := newJob(id, spec.Kind(), s.hubCfg)
 	jctx, cancel := context.WithCancel(ctx)
 	j.cancel = cancel
 	s.jobs[j.id] = j

@@ -1,0 +1,65 @@
+package adhocga
+
+import (
+	"context"
+	"testing"
+)
+
+// TestSubmitNamedPinsJobID proves the property the durable service tier
+// builds on: a job submitted under an explicit ID carries that ID in
+// every event, so replaying it in a different session (a restart, a
+// verify pass) yields a stream identical to the original.
+func TestSubmitNamedPinsJobID(t *testing.T) {
+	s := NewSession(WithPoolSize(1))
+	defer s.Close()
+	spec, err := ScenarioFamilyByName("table4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scale{Name: "test", Generations: 2, Rounds: 10, Repetitions: 1}
+	job := ScenariosSpec{
+		Runs:     []ScenarioRun{{Spec: spec.Specs()[0], Seed: 5}},
+		Defaults: sc,
+		Opts:     RunOptions{Parallelism: 1},
+	}
+
+	j, err := s.SubmitNamed(context.Background(), "job-42", job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID() != "job-42" {
+		t.Fatalf("job id %q", j.ID())
+	}
+	for e := range j.Events() {
+		if e.Job != "job-42" {
+			t.Fatalf("event carries job %q, want job-42", e.Job)
+		}
+	}
+	if got, ok := s.Job("job-42"); !ok || got != j {
+		t.Fatal("named job not reachable by its id")
+	}
+
+	// A duplicate name is an error, not a silent replacement.
+	if _, err := s.SubmitNamed(context.Background(), "job-42", job); err == nil {
+		t.Fatal("duplicate job id accepted")
+	}
+
+	// Auto IDs step over taken names instead of colliding.
+	s2 := NewSession(WithPoolSize(1))
+	defer s2.Close()
+	if _, err := s2.SubmitNamed(context.Background(), "job-1", job); err != nil {
+		t.Fatal(err)
+	}
+	auto, err := s2.Submit(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.ID() != "job-2" {
+		t.Fatalf("auto id %q collided with the named job-1", auto.ID())
+	}
+	if _, err := s2.SubmitNamed(context.Background(), "", job); err != nil {
+		t.Fatal(err)
+	} else if j3, _ := s2.Job("job-3"); j3 == nil {
+		t.Fatal("empty name did not fall back to the sequential id")
+	}
+}
