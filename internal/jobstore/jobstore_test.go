@@ -208,6 +208,124 @@ func TestFileRecoverySkipsCorruptTail(t *testing.T) {
 	}
 }
 
+// TestFileRepairsTornTailBeforeAppending is the double-crash contract: a
+// torn final line must never swallow the next fsynced entry. Without the
+// tail repair, the first append after reopening glued onto the fragment,
+// forming one corrupt line that the next replay skipped — silently losing
+// a successfully fsynced Put after a second restart.
+func TestFileRepairsTornTailBeforeAppending(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put(testRecord("job-1", StateRunning)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, walFileName)
+	torn, err := EncodeEntry(Entry{Op: "put", Rec: &Record{ID: "job-2", State: StateQueued}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn[:len(torn)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// First restart: the fragment is skipped and a new job lands.
+	re, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Skipped() != 1 {
+		t.Fatalf("skipped %d, want 1 (the torn fragment)", re.Skipped())
+	}
+	if err := re.Put(testRecord("job-3", StateQueued)); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second restart: the fsynced job-3 Put must have survived on its own
+	// line instead of gluing onto the torn fragment.
+	re, err = OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, ok, _ := re.Get("job-3"); !ok {
+		t.Fatal("fsynced Put after a torn tail lost on the second restart")
+	}
+	if _, ok, _ := re.Get("job-1"); !ok {
+		t.Fatal("intact record lost")
+	}
+	if _, ok, _ := re.Get("job-2"); ok {
+		t.Fatal("torn record half-recovered")
+	}
+}
+
+// TestFileKeepsEntryMissingOnlyNewline: a crash that cut exactly the
+// trailing '\n' leaves a complete, checksum-valid entry. Tail repair must
+// terminate the line and keep the entry, not discard it.
+func TestFileKeepsEntryMissingOnlyNewline(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put(testRecord("job-1", StateDone)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, walFileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, bytes.TrimSuffix(data, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Skipped() != 0 {
+		t.Fatalf("skipped %d, want 0: the entry is intact", re.Skipped())
+	}
+	if _, ok, _ := re.Get("job-1"); !ok {
+		t.Fatal("entry missing only its newline was discarded")
+	}
+	if err := re.Put(testRecord("job-2", StateQueued)); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err = OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Skipped() != 0 {
+		t.Fatalf("skipped %d after repair, want 0", re.Skipped())
+	}
+	for _, id := range []string{"job-1", "job-2"} {
+		if _, ok, _ := re.Get(id); !ok {
+			t.Fatalf("%s lost", id)
+		}
+	}
+}
+
 func TestFileCompactionShrinksLogAndKeepsRecords(t *testing.T) {
 	dir := t.TempDir()
 	fs, err := openFile(dir, 512) // tiny threshold so churn triggers compaction

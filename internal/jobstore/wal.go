@@ -190,11 +190,52 @@ func openFile(dir string, compactMin int64) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("jobstore: open WAL: %w", err)
 	}
+	// Repair a torn tail before appending anything: a SIGKILL mid-append
+	// leaves the file ending without a newline, and a fresh entry written
+	// straight after it would glue onto the fragment into one corrupt line
+	// — silently losing a successfully fsynced Put on the next replay.
+	// Terminating the tail with '\n' confines the damage to its own line
+	// (which future replays skip) and keeps intact an entry that lost only
+	// its trailing newline byte.
+	if n := len(data); n > 0 && data[n-1] != '\n' {
+		if _, err := fs.f.Write([]byte("\n")); err != nil {
+			fs.f.Close()
+			return nil, fmt.Errorf("jobstore: repair WAL tail: %w", err)
+		}
+		if err := fs.f.Sync(); err != nil {
+			fs.f.Close()
+			return nil, fmt.Errorf("jobstore: repair WAL tail: %w", err)
+		}
+		fs.totalBytes++
+	}
+	// The open may have created the file; fsync the directory so the WAL's
+	// existence itself survives power loss.
+	if err := syncDir(dir); err != nil {
+		fs.f.Close()
+		return nil, err
+	}
 	if err := fs.maybeCompactLocked(); err != nil {
 		fs.f.Close()
 		return nil, err
 	}
 	return fs, nil
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed file's
+// directory entry is durable, not just its contents.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("jobstore: sync dir: %w", err)
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	if serr != nil {
+		return fmt.Errorf("jobstore: sync dir: %w", serr)
+	}
+	return nil
 }
 
 // applyLocked folds one replayed entry into the in-memory view.
@@ -389,18 +430,25 @@ func (fs *File) maybeCompactLocked() error {
 		tmp.Close()
 		return fmt.Errorf("jobstore: compact fsync: %w", err)
 	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("jobstore: compact close: %w", err)
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobstore: compact chmod: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
+		tmp.Close()
 		return fmt.Errorf("jobstore: compact rename: %w", err)
 	}
+	// The rename moved tmp's inode to the WAL path, and the open tmp handle
+	// follows the inode — adopt it as the live WAL handle rather than
+	// reopening by path, so there is no window where a failed reopen leaves
+	// the store without a handle and permanently wedged. The handle's
+	// offset already sits at end-of-file, which is all the (mutex-guarded)
+	// append path needs.
 	old := fs.f
-	fs.f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	fs.f = tmp
 	old.Close()
-	if err != nil {
-		return fmt.Errorf("jobstore: reopen after compact: %w", err)
-	}
 	fs.totalBytes = written
-	return nil
+	// Make the rename itself durable: without a directory fsync a power
+	// loss may resurrect the pre-compaction log.
+	return syncDir(fs.dir)
 }

@@ -115,6 +115,13 @@ func (s *Server) watch(rec jobstore.Record, j *adhocga.Job) {
 		if err := s.store.Put(s.finalizeRecord(rec, j)); err != nil {
 			s.opts.Logf("service: persist terminal %s: %v", rec.ID, err)
 		}
+		// The terminal record is in the store; retire the map entry so a
+		// long-lived daemon's watcher map doesn't grow without bound. From
+		// here watcherDone's nil return means "already finalized", exactly
+		// as it does for recovered finished jobs.
+		s.mu.Lock()
+		delete(s.watchers, rec.ID)
+		s.mu.Unlock()
 	}()
 }
 
@@ -152,7 +159,8 @@ func (s *Server) finalizeRecord(rec jobstore.Record, j *adhocga.Job) jobstore.Re
 }
 
 // watcherDone returns the persistence watcher's completion channel for a
-// job, or nil when none is registered (recovered finished jobs).
+// job, or nil when none is registered — recovered finished jobs, and jobs
+// whose watcher already persisted the terminal record and retired itself.
 func (s *Server) watcherDone(id string) <-chan struct{} {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -518,15 +518,25 @@ func TestVerifyEdgeCases(t *testing.T) {
 		}
 	}
 
-	t.Run("watcher channel closes at persistence", func(t *testing.T) {
-		done := s.watcherDone(info.ID)
-		if done == nil {
-			t.Fatal("no watcher registered for a submitted job")
+	t.Run("watcher retires once the terminal record persists", func(t *testing.T) {
+		// The terminal record is already in the store (waitRecord above).
+		// The watcher's channel — if its retirement hasn't won the race yet
+		// — must close promptly, and then the map entry must be deleted so
+		// a long-lived daemon's watcher map doesn't grow without bound;
+		// from there watcherDone's nil means "already finalized".
+		if done := s.watcherDone(info.ID); done != nil {
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("watcher channel never closed after the record went terminal")
+			}
 		}
-		select {
-		case <-done:
-		case <-time.After(10 * time.Second):
-			t.Fatal("watcher channel never closed after the record went terminal")
+		deadline := time.Now().Add(10 * time.Second)
+		for s.watcherDone(info.ID) != nil {
+			if time.Now().After(deadline) {
+				t.Fatal("watcher map entry never retired after finalization")
+			}
+			time.Sleep(time.Millisecond)
 		}
 	})
 

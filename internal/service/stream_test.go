@@ -106,6 +106,16 @@ func TestSSEKeepaliveWithFakeClock(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer hog.Cancel()
+	// Job-slot acquisition happens in a per-job goroutine, so two quick
+	// submissions race for the single slot. Wait until the hog actually
+	// holds it — otherwise the "queued" job can win, run its generation,
+	// and emit real events into the stream this test needs idle.
+	for hog.State() == adhocga.JobQueued {
+		time.Sleep(time.Millisecond)
+	}
+	if got := hog.State(); got != adhocga.JobRunning {
+		t.Fatalf("hog job reached %s (err %v) instead of holding the slot", got, hog.Err())
+	}
 	queuedCfg := longCfg
 	queuedCfg.Generations = 1
 	job, err := session.Submit(t.Context(), adhocga.EvolveSpec{Config: queuedCfg})
@@ -139,11 +149,13 @@ func TestSSEKeepaliveWithFakeClock(t *testing.T) {
 			pings++
 		case line == "":
 		default:
-			t.Fatalf("idle stream produced a non-keepalive frame: %q", line)
+			t.Fatalf("idle stream produced a non-keepalive frame: %q (hog %s err %v, queued job %s)",
+				line, hog.State(), hog.Err(), job.State())
 		}
 	}
 	if pings != 3 {
-		t.Fatalf("saw %d keepalive pings, want 3 (scan err %v)", pings, sc.Err())
+		t.Fatalf("saw %d keepalive pings, want 3 (scan err %v; hog %s err %v)",
+			pings, sc.Err(), hog.State(), hog.Err())
 	}
 }
 
