@@ -33,9 +33,20 @@
 //	adhocd -store file -data-dir /var/lib/adhocd
 //	curl -s -X POST localhost:8547/v1/jobs/job-1/verify
 //
+// The daemon is observable without extra dependencies: GET /metrics
+// serves Prometheus text exposition (HTTP, jobs, streaming, pool, and —
+// with -store file — WAL internals), /healthz reports metrics_ok
+// alongside the store and recovery census, -log-level and -log-format
+// control the structured slog output on stderr (correlated by job ID),
+// and -pprof mounts net/http/pprof under /debug/pprof/:
+//
+//	adhocd -log-level debug -log-format json -pprof
+//	curl -s localhost:8547/metrics
+//
 // SIGINT/SIGTERM shut the daemon down gracefully: the listener drains,
-// every running job is cancelled at its next generation barrier, and the
-// process exits once all jobs have stopped.
+// open event streams are closed first (WebSocket viewers get close frame
+// 1011 "going away"), every running job is cancelled at its next
+// generation barrier, and the process exits once all jobs have stopped.
 package main
 
 import (
@@ -44,6 +55,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -86,6 +98,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		keepalive = fs.Duration("keepalive", 15*time.Second, "idle SSE/WebSocket keepalive ping interval")
 		storeKind = fs.String("store", "mem", "job persistence backend: mem (gone on exit) or file (WAL under -data-dir, restart-safe)")
 		dataDir   = fs.String("data-dir", "adhocd-data", "directory for the file store's write-ahead log")
+		logLevel  = fs.String("log-level", "info", "structured log threshold: debug, info, warn, or error")
+		logFormat = fs.String("log-format", "text", "structured log encoding on stderr: text or json")
+		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiles expose internals; enable deliberately)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -106,6 +121,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "adhocd: -ring, -sub-buffer, -block-deadline, and -keepalive must be >= 0")
 		return 2
 	}
+	var level slog.Level
+	switch *logLevel {
+	case "debug":
+		level = slog.LevelDebug
+	case "info":
+		level = slog.LevelInfo
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		fmt.Fprintf(stderr, "adhocd: -log-level must be debug, info, warn, or error, got %q\n", *logLevel)
+		return 2
+	}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(stderr, &slog.HandlerOptions{Level: level})
+	case "json":
+		handler = slog.NewJSONHandler(stderr, &slog.HandlerOptions{Level: level})
+	default:
+		fmt.Fprintf(stderr, "adhocd: -log-format must be text or json, got %q\n", *logFormat)
+		return 2
+	}
+	logger := slog.New(handler)
 
 	var store jobstore.Store
 	switch *storeKind {
@@ -137,6 +177,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			SubscriberBuffer: *subBuffer,
 			BlockDeadline:    *blockDL,
 		}),
+		adhocga.WithLogger(logger),
 	)
 	defer session.Close()
 
@@ -150,9 +191,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		KeepaliveInterval: *keepalive,
 		Store:             store,
 		Version:           version,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(stderr, "adhocd: "+format+"\n", args...)
-		},
+		Logger:            logger,
+		EnablePprof:       *pprofOn,
 	})
 	// Reload persisted jobs before the first request can race them:
 	// finished records serve from the store, interrupted ones re-run from
@@ -181,6 +221,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	fmt.Fprintln(stdout, "adhocd: shutting down — draining requests, cancelling jobs at their next generation barrier")
+	// Streams first: hijacked WebSocket connections get their 1011 close
+	// frame and SSE/NDJSON handlers return, so the drain below only waits
+	// on plain request/response work.
+	svc.Shutdown()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

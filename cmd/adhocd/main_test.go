@@ -127,12 +127,104 @@ func TestDaemonFlagValidation(t *testing.T) {
 		t.Errorf("bad max-jobs: exit %d", code)
 	}
 	stderr = syncBuffer{}
+	if code := run(ctx, []string{"-log-level", "loud"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad log-level: exit %d", code)
+	}
+	if !strings.Contains(stderr.String(), "-log-level") {
+		t.Errorf("stderr %q", stderr.String())
+	}
+	stderr = syncBuffer{}
+	if code := run(ctx, []string{"-log-format", "xml"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad log-format: exit %d", code)
+	}
+	if !strings.Contains(stderr.String(), "-log-format") {
+		t.Errorf("stderr %q", stderr.String())
+	}
+	stderr = syncBuffer{}
 	if code := run(ctx, []string{"-addr", "256.0.0.1:bad"}, &stdout, &stderr); code != 1 {
 		t.Errorf("bad addr: exit %d", code)
 	}
 	stderr = syncBuffer{}
 	if code := run(ctx, []string{"-h"}, &stdout, &stderr); code != 0 {
 		t.Errorf("-h: exit %d", code)
+	}
+}
+
+// TestDaemonObservabilityFlags boots the daemon with the full
+// observability surface on — JSON debug logs, pprof, file store — and
+// scrapes it: /metrics must serve Prometheus text with the WAL family,
+// /healthz must vouch for the registry, /debug/pprof/ must answer, and
+// stderr must carry structured JSON log lines.
+func TestDaemonObservabilityFlags(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var stdout, stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-scale", "smoke",
+			"-log-level", "debug", "-log-format", "json", "-pprof",
+			"-store", "file", "-data-dir", t.TempDir()}, &stdout, &stderr)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stdout %q stderr %q", stdout.String(), stderr.String())
+		}
+		out := stdout.String()
+		if i := strings.Index(out, "listening on "); i >= 0 {
+			addr = strings.Fields(out[i+len("listening on "):])[0]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	base := "http://" + addr
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, `"metrics_ok": true`) {
+		t.Errorf("healthz: %d %s", code, body)
+	}
+	code, metrics := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, want := range []string{
+		"adhocd_jobs_submitted_total 0",
+		"# TYPE adhocd_wal_fsync_seconds histogram",
+		`adhocd_jobs{state="running"} 0`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("pprof cmdline: %d", code)
+	}
+
+	// The recovery pass logs through the JSON handler before the listen
+	// line is printed, so stderr already carries structured lines.
+	if logs := stderr.String(); !strings.Contains(logs, `"msg":"recovery complete"`) {
+		t.Errorf("no structured JSON log lines on stderr: %q", logs)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("daemon exited %d; stderr %q", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
 	}
 }
 

@@ -2,7 +2,9 @@ package adhocga
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -168,6 +170,10 @@ type StreamStats struct {
 	// from snapshot + ring.
 	Emitted  int
 	Retained int
+	// Overwritten is how many emitted events the ring has lapped over —
+	// they survive only as compacted snapshot entries. Emitted minus
+	// Overwritten is the ring occupancy.
+	Overwritten int
 	// Subscribers is the number of currently-attached subscriptions.
 	Subscribers int
 	// Resyncs and Evictions count backpressure actions over the job's
@@ -220,13 +226,16 @@ type subscriber struct {
 // producer appends under it, subscriber pumps read batches under it and
 // send outside it.
 type hub struct {
-	cfg   HubConfig
-	jobID string
+	cfg    HubConfig
+	jobID  string
+	logger *slog.Logger
 
 	mu       sync.Mutex
-	ring     []Event // circular; slot of seq s is s % len(ring); grows to cfg.RingSize
-	start    int     // Seq of the oldest retained ring event
-	total    int     // Seq of the next event (== events emitted)
+	ring     []Event  // circular; slot of seq s is s % len(ring); grows to cfg.RingSize
+	frames   [][]byte // lazily-filled JSON encoding of the same slot; nil = not encoded yet
+	framesOn bool     // frame() has cached at least once; until then append skips invalidation
+	start    int      // Seq of the oldest retained ring event
+	total    int      // Seq of the next event (== events emitted)
 	snap     map[streamKey]Event
 	closed   bool          // terminal event appended; no more appends
 	notify   chan struct{} // closed+replaced on every append
@@ -239,10 +248,14 @@ type hub struct {
 	maxStall  time.Duration
 }
 
-func newHub(jobID string, cfg HubConfig) *hub {
+func newHub(jobID string, cfg HubConfig, logger *slog.Logger) *hub {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	return &hub{
 		cfg:      cfg.withDefaults(),
 		jobID:    jobID,
+		logger:   logger,
 		snap:     map[streamKey]Event{},
 		notify:   make(chan struct{}),
 		progress: make(chan struct{}),
@@ -262,10 +275,13 @@ func (h *hub) growLocked() {
 		next = h.cfg.RingSize
 	}
 	grown := make([]Event, next)
+	grownFrames := make([][]byte, next)
 	for seq := h.start; seq < h.total; seq++ {
 		grown[seq%next] = h.ring[seq%len(h.ring)]
+		grownFrames[seq%next] = h.frames[seq%len(h.ring)]
 	}
 	h.ring = grown
+	h.frames = grownFrames
 }
 
 // append is the producer path: stamp, retain, compact, wake subscribers.
@@ -335,6 +351,13 @@ func (h *hub) append(e Event, terminal bool) {
 			h.start++
 		}
 		h.ring[e.Seq%len(h.ring)] = e
+		// The slot's cached frame (if any) encoded the overwritten event;
+		// the new occupant is encoded lazily on first fan-out. Until the
+		// first frame() call every entry is nil (framesOn false), so a job
+		// nobody streams never touches the cache array from the emit path.
+		if h.framesOn {
+			h.frames[e.Seq%len(h.ring)] = nil
+		}
 		h.total++
 		h.snap[compactionKey(e)] = e
 		if terminal {
@@ -352,6 +375,8 @@ func (h *hub) evictLocked(s *subscriber) {
 	s.err = ErrSlowSubscriber
 	close(s.quit)
 	h.evictions++
+	h.logger.Warn("subscriber evicted by backpressure",
+		"job", h.jobID, "cursor", s.cursor, "evictions", h.evictions)
 	// Leave removal from the maps to the pump, which owns the exit path;
 	// the err guard keeps the producer from re-evicting meanwhile.
 }
@@ -533,6 +558,48 @@ func (h *hub) pump(ctx context.Context, s *subscriber) {
 	}
 }
 
+// frame returns the JSON encoding of one delivered event, shared across
+// subscribers: the first fan-out of an event marshals it and caches the
+// bytes in the ring-parallel frame slot; every later subscriber of the
+// same event gets the cached bytes back. Events already lapped out of the
+// ring (or snapshot resync deliveries of them) fall back to a plain
+// marshal. Callers must treat the returned slice as immutable.
+//
+// The cache keeps the producer's append marshal-free: encoding happens on
+// the first subscriber's delivery path, where the cost was already being
+// paid once per subscriber before the cache existed.
+func (h *hub) frame(e Event) ([]byte, error) {
+	h.mu.Lock()
+	if len(h.ring) > 0 && e.Seq >= h.start && e.Seq < h.total {
+		i := e.Seq % len(h.ring)
+		if h.ring[i].Seq == e.Seq {
+			if b := h.frames[i]; b != nil {
+				h.mu.Unlock()
+				return b, nil
+			}
+			h.mu.Unlock()
+			b, err := json.Marshal(e)
+			if err != nil {
+				return nil, err
+			}
+			h.mu.Lock()
+			// Re-check: the producer may have lapped the slot while we
+			// marshalled. Racing subscribers encode the same event value,
+			// so a double store is byte-identical and harmless. framesOn
+			// flips with the first store — the invariant the emit path's
+			// skip relies on is "framesOn false ⇒ every frame slot nil".
+			if len(h.ring) > 0 && h.ring[e.Seq%len(h.ring)].Seq == e.Seq {
+				h.framesOn = true
+				h.frames[e.Seq%len(h.ring)] = b
+			}
+			h.mu.Unlock()
+			return b, nil
+		}
+	}
+	h.mu.Unlock()
+	return json.Marshal(e)
+}
+
 // total returns the number of events emitted so far.
 func (h *hub) totalEvents() int {
 	h.mu.Lock()
@@ -565,6 +632,7 @@ func (h *hub) stats() StreamStats {
 	return StreamStats{
 		Emitted:     h.total,
 		Retained:    retained,
+		Overwritten: h.start,
 		Subscribers: len(h.subs),
 		Resyncs:     h.resyncs,
 		Evictions:   h.evictions,

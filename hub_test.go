@@ -7,6 +7,7 @@ package adhocga
 
 import (
 	"context"
+	"encoding/json"
 	"testing"
 	"time"
 )
@@ -14,7 +15,7 @@ import (
 // testJob returns a Job wired like Session.Submit does, minus the
 // session: events are appended directly with emit/finish.
 func testJob(cfg HubConfig) *Job {
-	j := newJob("job-t", "test", cfg)
+	j := newJob("job-t", "test", cfg, nil)
 	j.cancel = func() {}
 	return j
 }
@@ -305,4 +306,74 @@ func TestHubConcurrentSubscribeUnsubscribeEvict(t *testing.T) {
 	if stats := j.StreamStats(); stats.Subscribers != 0 || stats.Emitted != gens+1 {
 		t.Errorf("post-stress stats %+v", stats)
 	}
+}
+
+// TestFrameCache pins the shared frame cache's contract: encodings are
+// byte-identical to a plain marshal, repeat deliveries of one event share
+// the cached bytes, a lapped ring slot never serves the previous
+// occupant's frame, and — the emit-path guarantee — a hub nobody streams
+// never materializes a cache entry at all.
+func TestFrameCache(t *testing.T) {
+	j := testJob(HubConfig{RingSize: 4})
+	for i := 0; i < 4; i++ {
+		j.emit(genEvent(0, i))
+	}
+
+	// Emit alone must not touch the cache (framesOn stays false): a job
+	// without streaming viewers pays nothing for the cache's existence.
+	j.hub.mu.Lock()
+	if j.hub.framesOn {
+		t.Error("framesOn set before any frame() call")
+	}
+	for i, b := range j.hub.frames {
+		if b != nil {
+			t.Errorf("frame slot %d materialized with no subscriber", i)
+		}
+	}
+	j.hub.mu.Unlock()
+
+	events := j.Snapshot()
+	e := events[len(events)-1]
+	want, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := j.Frame(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(want) {
+		t.Fatalf("frame %s, marshal %s", b1, want)
+	}
+	b2, err := j.Frame(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &b1[0] != &b2[0] {
+		t.Error("second delivery re-encoded instead of sharing the cached frame")
+	}
+
+	// Lap the slot: four more events overwrite the whole ring. The old
+	// event's frame must not be served for the new occupant, and the
+	// lapped event itself still encodes correctly via the fallback.
+	for i := 4; i < 8; i++ {
+		j.emit(genEvent(0, i))
+	}
+	fresh := j.Snapshot()[len(j.Snapshot())-1]
+	fb, err := j.Frame(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwant, _ := json.Marshal(fresh)
+	if string(fb) != string(fwant) {
+		t.Fatalf("post-lap frame %s, want %s", fb, fwant)
+	}
+	ob, err := j.Frame(e) // lapped out of the ring: plain-marshal fallback
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ob) != string(want) {
+		t.Fatalf("lapped-event frame %s, want %s", ob, want)
+	}
+	j.finish(nil, nil)
 }

@@ -186,6 +186,14 @@ func (m *Mem) Delete(id string) error {
 	return nil
 }
 
+// Len returns the number of stored records — a cheap census for metrics
+// collectors, unlike List, which clones every record.
+func (m *Mem) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.recs)
+}
+
 // Backend returns "mem".
 func (m *Mem) Backend() string { return "mem" }
 

@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 )
 
 func testRecord(id, state string) Record {
@@ -449,5 +450,74 @@ func TestReplayMixedGoodAndBadLines(t *testing.T) {
 	}
 	if strings.Join(ids, ",") != "job-1,job-2,job-3" {
 		t.Fatalf("entry order %v", ids)
+	}
+}
+
+// TestStatsAndFsyncObserver pins the observability seam the daemon's
+// metrics layer hangs off: File.Stats counts appends/fsyncs (and only
+// state transitions fsync), the OnFsync observer sees each synchronous
+// append's latency, Len tracks the live record census on both backends,
+// and the counters survive the sizes being polled mid-write.
+func TestStatsAndFsyncObserver(t *testing.T) {
+	m := NewMem()
+	if m.Len() != 0 {
+		t.Fatalf("empty mem Len %d", m.Len())
+	}
+	if err := m.Put(testRecord("job-1", StateQueued)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("mem Len %d, want 1", m.Len())
+	}
+
+	fs, err := OpenFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	var observed int
+	fs.OnFsync(func(d time.Duration) {
+		if d < 0 {
+			t.Errorf("negative fsync latency %v", d)
+		}
+		observed++
+	})
+	if st := fs.Stats(); st.Appends != 0 || st.Fsyncs != 0 || st.Records != 0 {
+		t.Fatalf("fresh store stats %+v", st)
+	}
+
+	// A state transition fsyncs; a watermark-only update appends without
+	// one. Both count as appends, grow the file, and keep Records = live.
+	if err := fs.Put(testRecord("job-1", StateQueued)); err != nil {
+		t.Fatal(err)
+	}
+	progress := testRecord("job-1", StateQueued) // same state: watermark-only update
+	progress.Watermark = 9
+	if err := fs.Put(progress); err != nil {
+		t.Fatal(err)
+	}
+	st := fs.Stats()
+	if st.Appends != 2 {
+		t.Errorf("appends %d, want 2", st.Appends)
+	}
+	if st.Fsyncs != 1 || observed != 1 {
+		t.Errorf("fsyncs %d observed %d, want 1/1 (watermark updates must not fsync)", st.Fsyncs, observed)
+	}
+	if st.Records != 1 || fs.Len() != 1 {
+		t.Errorf("records %d Len %d, want 1/1", st.Records, fs.Len())
+	}
+	if st.TotalBytes <= 0 || st.LiveBytes <= 0 || st.TotalBytes < st.LiveBytes {
+		t.Errorf("sizes total %d live %d", st.TotalBytes, st.LiveBytes)
+	}
+	if st.TornSkipped != 0 || st.Compactions != 0 {
+		t.Errorf("unexpected torn/compactions in %+v", st)
+	}
+
+	done := testRecord("job-1", StateDone)
+	if err := fs.Put(done); err != nil { // state transition: fsync + observer
+		t.Fatal(err)
+	}
+	if st := fs.Stats(); st.Fsyncs != 2 || observed != 2 {
+		t.Errorf("after terminal put: fsyncs %d observed %d, want 2/2", st.Fsyncs, observed)
 	}
 }

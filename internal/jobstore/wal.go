@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // The file backend is a single append-only write-ahead log: every Put or
@@ -155,6 +156,60 @@ type File struct {
 	skipped    int
 	compactMin int64
 	closed     bool
+
+	// Observability counters, kept under the same mutex the write path
+	// already holds — polled by FileStats, they cost the hot path nothing.
+	appends     uint64
+	fsyncs      uint64
+	compactions uint64
+	onFsync     func(time.Duration) // optional fsync-latency observer
+}
+
+// FileStats is a point-in-time census of the WAL backend, polled by the
+// daemon's metrics collectors.
+type FileStats struct {
+	// Appends counts WAL lines written since open; Fsyncs how many of
+	// them were made durable synchronously; Compactions how many rewrite
+	// passes ran.
+	Appends, Fsyncs, Compactions uint64
+	// TornSkipped is how many corrupt entries recovery skipped at open.
+	TornSkipped int
+	// TotalBytes is the WAL file's current size; LiveBytes the size a
+	// fresh compaction would leave; Records the live record count.
+	TotalBytes, LiveBytes int64
+	Records               int
+}
+
+// Stats returns the store's counters and sizes.
+func (fs *File) Stats() FileStats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return FileStats{
+		Appends:     fs.appends,
+		Fsyncs:      fs.fsyncs,
+		Compactions: fs.compactions,
+		TornSkipped: fs.skipped,
+		TotalBytes:  fs.totalBytes,
+		LiveBytes:   fs.liveBytesLocked(),
+		Records:     len(fs.recs),
+	}
+}
+
+// Len reports the live record count without cloning records (List does).
+func (fs *File) Len() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.recs)
+}
+
+// OnFsync installs an observer called with each synchronous append's
+// fsync latency — the hook the daemon's latency histogram hangs off
+// without this package importing the metrics layer. Call before serving
+// traffic; fn runs under the store mutex and must be fast.
+func (fs *File) OnFsync(fn func(time.Duration)) {
+	fs.mu.Lock()
+	fs.onFsync = fn
+	fs.mu.Unlock()
 }
 
 // OpenFile opens (creating if needed) the WAL-backed store in dir and
@@ -280,13 +335,19 @@ func (fs *File) appendLocked(e Entry, sync bool) error {
 	if _, err := fs.f.Write(b); err != nil {
 		return fmt.Errorf("jobstore: append WAL: %w", err)
 	}
+	fs.appends++
 	fs.totalBytes += int64(len(b))
 	if e.Op == "put" {
 		fs.entryBytes[e.Rec.ID] = int64(len(b))
 	}
 	if sync {
+		start := time.Now()
 		if err := fs.f.Sync(); err != nil {
 			return fmt.Errorf("jobstore: fsync WAL: %w", err)
+		}
+		fs.fsyncs++
+		if fs.onFsync != nil {
+			fs.onFsync(time.Since(start))
 		}
 	}
 	return nil
@@ -448,6 +509,7 @@ func (fs *File) maybeCompactLocked() error {
 	fs.f = tmp
 	old.Close()
 	fs.totalBytes = written
+	fs.compactions++
 	// Make the rename itself durable: without a directory fsync a power
 	// loss may resurrect the pre-compaction log.
 	return syncDir(fs.dir)

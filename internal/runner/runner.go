@@ -187,6 +187,11 @@ func NewPool(size int) *Pool {
 // Size returns the pool's slot count.
 func (p *Pool) Size() int { return cap(p.slots) }
 
+// InUse returns how many slots are currently held by running tasks — the
+// pool-occupancy reading behind the daemon's gauge. It is a point-in-time
+// sample, exact only in quiescence.
+func (p *Pool) InUse() int { return len(p.slots) }
+
 // Run executes n tasks on the pool's shared slots and blocks until all
 // have finished or the context is cancelled. Options.Parallelism
 // additionally caps this batch's share of the pool. The error contract is

@@ -104,7 +104,7 @@ func (s *Server) watch(rec jobstore.Record, j *adhocga.Job) {
 				rec.State = jobstore.StateRunning
 				rec.Watermark = e.Seq
 				if err := s.store.Put(rec); err != nil {
-					s.opts.Logf("service: persist progress %s: %v", rec.ID, err)
+					s.opts.Logger.Warn("persist progress failed", "job", rec.ID, "error", err)
 				}
 			}
 		}
@@ -113,7 +113,9 @@ func (s *Server) watch(rec jobstore.Record, j *adhocga.Job) {
 		// way so the final state is really final.
 		_ = j.Wait(context.Background())
 		if err := s.store.Put(s.finalizeRecord(rec, j)); err != nil {
-			s.opts.Logf("service: persist terminal %s: %v", rec.ID, err)
+			s.opts.Logger.Warn("persist terminal failed", "job", rec.ID, "error", err)
+		} else {
+			s.opts.Logger.Info("job record finalized", "job", rec.ID, "state", string(j.State()))
 		}
 		// The terminal record is in the store; retire the map entry so a
 		// long-lived daemon's watcher map doesn't grow without bound. From
@@ -194,8 +196,9 @@ func (s *Server) Recover(ctx context.Context) (recovered, resumed int, err error
 			rec.State = jobstore.StateFailed
 			rec.Error = fmt.Sprintf("recovery: %v", err)
 			if perr := s.store.Put(rec); perr != nil {
-				s.opts.Logf("service: persist unrecoverable %s: %v", rec.ID, perr)
+				s.opts.Logger.Warn("persist unrecoverable record failed", "job", rec.ID, "error", perr)
 			}
+			s.opts.Logger.Warn("record unrecoverable, marked failed", "job", rec.ID, "error", err)
 			continue
 		}
 		j, err := s.session.SubmitNamed(context.WithoutCancel(ctx), rec.ID, spec)
@@ -208,10 +211,12 @@ func (s *Server) Recover(ctx context.Context) (recovered, resumed int, err error
 		rec.State = jobstore.StateQueued
 		rec.Watermark = 0
 		s.watch(rec, j)
+		s.opts.Logger.Info("job resumed from store", "job", rec.ID, "seed", rec.Seed)
 		resumed++
 	}
 	s.mu.Lock()
 	s.recovered, s.resumed = recovered, resumed
 	s.mu.Unlock()
+	s.opts.Logger.Info("recovery complete", "recovered", recovered, "resumed", resumed)
 	return recovered, resumed, nil
 }

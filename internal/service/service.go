@@ -68,6 +68,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -77,6 +78,7 @@ import (
 	"adhocga"
 	"adhocga/internal/experiment"
 	"adhocga/internal/jobstore"
+	"adhocga/internal/obs"
 	"adhocga/internal/scenario"
 	"adhocga/internal/ws"
 )
@@ -108,9 +110,19 @@ type Options struct {
 	// record may embed; bigger logs keep only their digest. ≤0 means
 	// 4 MiB.
 	MaxStoredLogBytes int64
-	// Logf receives persistence diagnostics (store write failures,
-	// recovery notes). nil discards them.
-	Logf func(format string, args ...any)
+	// Logger receives the service's structured logs: submissions,
+	// recovery and resume notes, persistence failures — each tagged with
+	// the job ID it concerns. nil discards everything.
+	Logger *slog.Logger
+	// Metrics is the registry GET /metrics serves; the server registers
+	// its own collectors on it at construction. nil means a fresh private
+	// registry. A registry must not be shared between two Servers
+	// (collector names would collide).
+	Metrics *obs.Registry
+	// EnablePprof mounts the net/http/pprof handlers under
+	// /debug/pprof/ — opt-in because profiles expose internals and cost
+	// CPU while running.
+	EnablePprof bool
 }
 
 // Server routes the v1 API onto a Session. Create with New; it implements
@@ -121,6 +133,21 @@ type Server struct {
 	opts    Options
 	mux     *http.ServeMux
 	store   jobstore.Store
+
+	// metrics is the registry behind GET /metrics; requests and verifies
+	// are its push-style instruments (everything else is polled — see
+	// metrics.go).
+	metrics  *obs.Registry
+	requests *obs.CounterVec
+	verifies *obs.CounterVec
+
+	// baseCtx outlives every request and is cancelled by Shutdown; the
+	// streaming handlers derive their subscription contexts from both it
+	// and the request, so long-lived streams (including hijacked
+	// WebSockets, which http.Server.Shutdown cannot drain) wind down on
+	// service shutdown.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
 
 	// newTicker is the keepalive clock, swappable by tests: it returns a
 	// tick channel firing every d plus a stop function.
@@ -151,8 +178,11 @@ func New(session *adhocga.Session, opts Options) *Server {
 	if opts.Version == "" {
 		opts.Version = "dev"
 	}
-	if opts.Logf == nil {
-		opts.Logf = func(string, ...any) {}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.DiscardHandler)
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
 	}
 	if opts.Store == nil {
 		opts.Store = jobstore.NewMem()
@@ -162,22 +192,45 @@ func New(session *adhocga.Session, opts Options) *Server {
 		opts:     opts,
 		mux:      http.NewServeMux(),
 		store:    opts.Store,
+		metrics:  opts.Metrics,
 		watchers: map[string]chan struct{}{},
 	}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	s.nextID = s.maxStoredID()
 	s.newTicker = func(d time.Duration) (<-chan time.Time, func()) {
 		t := time.NewTicker(d)
 		return t.C, t.Stop
 	}
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/ws", s.handleWS)
-	s.mux.HandleFunc("POST /v1/jobs/{id}/verify", s.handleVerify)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.registerMetrics()
+	s.handle("POST /v1/jobs", s.handleSubmit)
+	s.handle("GET /v1/jobs", s.handleList)
+	s.handle("GET /v1/jobs/{id}", s.handleStatus)
+	s.handle("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.handle("GET /v1/jobs/{id}/ws", s.handleWS)
+	s.handle("POST /v1/jobs/{id}/verify", s.handleVerify)
+	s.handle("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /metrics", s.metrics.Handler().ServeHTTP)
+	if opts.EnablePprof {
+		s.registerPprof()
+	}
 	return s
+}
+
+// Shutdown cancels every live stream — WebSocket, SSE, NDJSON — so their
+// handlers return promptly. Call it before http.Server.Shutdown: the
+// drain only waits for plain requests, and hijacked WebSocket connections
+// would otherwise never see a close frame. Safe to call more than once;
+// the server keeps serving non-streaming requests afterwards.
+func (s *Server) Shutdown() { s.cancelBase() }
+
+// streamContext derives a stream's lifetime from both the request (client
+// went away) and the server (Shutdown called). The returned stop releases
+// the shutdown hook; callers must defer both.
+func (s *Server) streamContext(r *http.Request) (context.Context, context.CancelFunc, func() bool) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	return ctx, cancel, stop
 }
 
 // handleHealthz reports liveness plus the durable tier's identity: the
@@ -187,12 +240,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	recovered, resumed := s.recovered, s.resumed
 	s.mu.Unlock()
+	// The metrics self-check renders the whole exposition: a collector
+	// panicking or emitting garbage turns the liveness probe red before a
+	// scraper ever trips over it.
+	metricsOK := s.metrics.Healthy() == nil
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"version":        s.opts.Version,
 		"store":          s.store.Backend(),
 		"recovered_jobs": recovered,
 		"resumed_jobs":   resumed,
+		"metrics_ok":     metricsOK,
 	})
 }
 
@@ -201,7 +259,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) maxStoredID() int {
 	recs, err := s.store.List()
 	if err != nil {
-		s.opts.Logf("service: list store for id seed: %v", err)
+		s.opts.Logger.Warn("list store for id seed failed", "error", err)
 		return 0
 	}
 	max := 0
@@ -373,12 +431,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		rec.State = jobstore.StateFailed
 		rec.Error = err.Error()
 		if perr := s.store.Put(rec); perr != nil {
-			s.opts.Logf("service: persist failed submit %s: %v", rec.ID, perr)
+			s.opts.Logger.Warn("persist failed submit", "job", rec.ID, "error", perr)
 		}
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
 	s.watch(rec, job)
+	s.opts.Logger.Info("job accepted", "job", rec.ID, "seed", rec.Seed, "deterministic", rec.Deterministic)
 	writeJSON(w, http.StatusAccepted, s.info(job))
 }
 
@@ -585,10 +644,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// Push the response headers out now: an SSE client on an idle stream
 	// must see the connection established before the first event or ping.
 	flush()
-	enc := json.NewEncoder(w)
-	// The request context detaches the subscription when the client goes
-	// away; the job itself is unaffected.
-	sub := j.Subscribe(r.Context(), opts)
+	// The stream detaches when the client goes away or the service shuts
+	// down; the job itself is unaffected either way.
+	ctx, cancel, stopAfter := s.streamContext(r)
+	defer cancel()
+	defer stopAfter()
+	sub := j.Subscribe(ctx, opts)
 	var keepalive <-chan time.Time
 	if sse {
 		tick, stop := s.newTicker(s.opts.KeepaliveInterval)
@@ -601,12 +662,22 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if !open {
 				return
 			}
+			// The hub's frame cache marshals each event once, no matter
+			// how many streams fan it out. Frame + "\n" is byte-identical
+			// to json.Encoder.Encode (the goldens pin this).
+			b, err := j.Frame(e)
+			if err != nil {
+				return
+			}
 			if sse {
 				if _, err := fmt.Fprintf(w, "id: %d\ndata: ", e.Seq); err != nil {
 					return
 				}
 			}
-			if err := enc.Encode(e); err != nil {
+			if _, err := w.Write(b); err != nil {
+				return
+			}
+			if _, err := io.WriteString(w, "\n"); err != nil {
 				return
 			}
 			if sse {
@@ -654,7 +725,11 @@ func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
 		opts = adhocga.SubscribeOptions{From: last + 1, Policy: adhocga.DropResync}
 	}
 	if q.Get("replay") == "full" {
-		opts = adhocga.SubscribeOptions{Policy: adhocga.BlockWithDeadline}
+		// Mutate, don't replace: ?after=N combined with ?replay=full must
+		// keep the resume point — the client wants a gap-free archival
+		// replay starting after the last event it saw.
+		opts.Live = false
+		opts.Policy = adhocga.BlockWithDeadline
 	}
 	conn, err := ws.Upgrade(w, r)
 	if err != nil {
@@ -664,8 +739,9 @@ func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer conn.Close()
-	ctx, cancel := context.WithCancel(r.Context())
+	ctx, cancel, stopAfter := s.streamContext(r)
 	defer cancel()
+	defer stopAfter()
 	sub := j.Subscribe(ctx, opts)
 	// Reader goroutine: answers pings, detects the client going away (or
 	// sending a close), and detaches the subscription either way.
@@ -688,10 +764,15 @@ func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
 					conn.WriteClose(ws.CloseNormal, "job stream complete")
 				case adhocga.ErrSlowSubscriber:
 					conn.WriteClose(CloseSlowSubscriber, "not draining; reconnect with ?after=")
+				default:
+					// Subscription torn down without a terminal event —
+					// service shutdown, typically. A close frame lets the
+					// client tell "server going away" from a network fault.
+					conn.WriteClose(ws.CloseGoingAway, "going away")
 				}
 				return
 			}
-			b, err := json.Marshal(e)
+			b, err := j.Frame(e)
 			if err != nil {
 				return
 			}
@@ -703,6 +784,10 @@ func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		case <-ctx.Done():
+			// Both exit paths race on shutdown (the cancelled subscription
+			// closes sub.C as ctx fires); send the same close frame here so
+			// the client-visible behavior doesn't depend on select order.
+			conn.WriteClose(ws.CloseGoingAway, "going away")
 			return
 		}
 	}

@@ -326,6 +326,78 @@ func TestWebSocketStreamsLiveJob(t *testing.T) {
 	}
 }
 
+// Regression: ?after=N combined with ?replay=full used to discard the
+// resume point (the replay branch overwrote the whole options struct) and
+// silently replay from the start. The combination must honor both — a
+// gap-free archival replay beginning right after the last seen event.
+func TestWebSocketAfterWithFullReplay(t *testing.T) {
+	srv, _ := newTestServer(t)
+	info := finishedSmokeJob(t, srv)
+
+	conn, err := ws.Dial(wsURL(srv.URL, info, "?after=4&replay=full"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	events, code := readEventsUntilClose(t, conn)
+	if code != ws.CloseNormal {
+		t.Errorf("close code %d, want %d", code, ws.CloseNormal)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events delivered")
+	}
+	if events[0].Seq != 5 {
+		t.Fatalf("first event Seq = %d, want 5 (?after=4 was discarded)", events[0].Seq)
+	}
+	// BlockWithDeadline replay of a fully retained history is gap-free.
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Errorf("gap in archival replay: %d after %d", events[i].Seq, events[i-1].Seq)
+		}
+	}
+	if last := events[len(events)-1]; last.Kind != adhocga.KindDone {
+		t.Errorf("replay not terminated by done event: %+v", last)
+	}
+}
+
+// Regression: tearing a WebSocket stream down mid-job (service shutdown)
+// used to drop the TCP connection with no close frame, so clients could
+// not tell a shutdown from a network fault. The server now sends close
+// 1011 "going away".
+func TestWebSocketShutdownSendsGoingAway(t *testing.T) {
+	session := adhocga.NewSession()
+	defer session.Close()
+	server := New(session, Options{})
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+
+	code, body := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs",
+		fmt.Sprintf(`{"scenarios": %s, "parallelism": 1, "scale": "smoke"}`, longSpec))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var info JobInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := ws.Dial(wsURL(srv.URL, info, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Make sure the stream is really flowing before pulling the plug.
+	conn.SetReadDeadline(time.Now().Add(60 * time.Second))
+	if _, _, err := conn.NextMessage(); err != nil {
+		t.Fatalf("first live event: %v", err)
+	}
+	server.Shutdown()
+	_, closeCode := readEventsUntilClose(t, conn)
+	if closeCode != ws.CloseGoingAway {
+		t.Fatalf("close code %d, want %d (server shutdown must send a close frame)",
+			closeCode, ws.CloseGoingAway)
+	}
+}
+
 func TestWebSocketBadRequests(t *testing.T) {
 	srv, _ := newTestServer(t)
 	info := finishedSmokeJob(t, srv)

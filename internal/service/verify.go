@@ -102,9 +102,12 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	report, err := s.verifyRecord(r.Context(), rec)
 	if err != nil {
+		s.verifies.With("error").Inc()
 		httpError(w, http.StatusInternalServerError, "verify %s: %v", id, err)
 		return
 	}
+	s.verifies.With(report.Verdict).Inc()
+	s.opts.Logger.Info("verify finished", "job", id, "verdict", report.Verdict, "mode", report.Mode)
 	writeJSON(w, http.StatusOK, report)
 }
 

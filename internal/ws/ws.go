@@ -48,6 +48,10 @@ const (
 	CloseProtocolError uint16 = 1002
 	// CloseTooBig rejects a message over the size cap (1009).
 	CloseTooBig uint16 = 1009
+	// CloseGoingAway signals the server tore the stream down before its
+	// natural end — shutdown, typically (1011, "server terminating the
+	// connection because it encountered an unexpected condition").
+	CloseGoingAway uint16 = 1011
 )
 
 // MaxMessageSize caps one assembled message; larger frames close the

@@ -3,6 +3,7 @@ package adhocga
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"sync"
 )
 
@@ -53,11 +54,11 @@ type Job struct {
 	err    error
 }
 
-func newJob(id, kind string, cfg HubConfig) *Job {
+func newJob(id, kind string, cfg HubConfig, logger *slog.Logger) *Job {
 	return &Job{
 		id:    id,
 		kind:  kind,
-		hub:   newHub(id, cfg),
+		hub:   newHub(id, cfg, logger),
 		done:  make(chan struct{}),
 		state: JobQueued,
 	}
@@ -109,9 +110,16 @@ func (j *Job) EventCount() int { return j.hub.totalEvents() }
 func (j *Job) Snapshot() []Event { return j.hub.retained() }
 
 // StreamStats returns the job hub's observability counters: events
-// emitted/retained, attached subscribers, backpressure resyncs and
-// evictions, and the longest producer stall.
+// emitted/retained/overwritten, attached subscribers, backpressure
+// resyncs and evictions, and the longest producer stall.
 func (j *Job) StreamStats() StreamStats { return j.hub.stats() }
+
+// Frame returns the JSON encoding of one of this job's events, served
+// from the hub's shared frame cache: the first caller for a given event
+// marshals it once, every other subscriber fanning the same event out
+// (WebSocket, SSE, NDJSON) reuses the cached bytes. Identical to
+// json.Marshal(e) byte for byte; callers must not mutate the result.
+func (j *Job) Frame(e Event) ([]byte, error) { return j.hub.frame(e) }
 
 // Subscribe attaches one subscription to the job's event stream with
 // explicit replay and backpressure control (see SubscribeOptions and

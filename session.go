@@ -3,7 +3,9 @@ package adhocga
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
+	"time"
 
 	"adhocga/internal/core"
 	"adhocga/internal/runner"
@@ -30,13 +32,16 @@ type Session struct {
 	jobSlots chan struct{}
 	retain   int // max terminal jobs kept; ≤0 = unlimited
 	hubCfg   HubConfig
+	logger   *slog.Logger
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []*Job
-	nextID int
-	closed bool
-	wg     sync.WaitGroup
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	order     []*Job
+	nextID    int
+	submitted int
+	retired   StreamTotals // stream counters of jobs pruned from the map
+	closed    bool
+	wg        sync.WaitGroup
 
 	// Engine arena: finished evolve jobs park their engine here and later
 	// submissions reinitialize it in place (core.Engine.Reinit), so a
@@ -108,6 +113,14 @@ func WithHubConfig(cfg HubConfig) SessionOption {
 	return func(s *Session) { s.hubCfg = cfg }
 }
 
+// WithLogger sets the structured logger for session lifecycle events —
+// job submissions, state transitions with job IDs, and hub backpressure
+// evictions. The default discards everything, so embedding programs pay
+// nothing unless they opt in.
+func WithLogger(l *slog.Logger) SessionOption {
+	return func(s *Session) { s.logger = l }
+}
+
 // NewSession builds a Session from its functional options.
 func NewSession(opts ...SessionOption) *Session {
 	s := &Session{
@@ -119,6 +132,9 @@ func NewSession(opts ...SessionOption) *Session {
 	}
 	if s.pool == nil {
 		s.pool = runner.NewPool(0)
+	}
+	if s.logger == nil {
+		s.logger = slog.New(slog.DiscardHandler)
 	}
 	return s
 }
@@ -176,13 +192,15 @@ func (s *Session) SubmitNamed(ctx context.Context, id string, spec JobSpec) (*Jo
 		s.mu.Unlock()
 		return nil, fmt.Errorf("adhocga: job id %q already exists", id)
 	}
-	j := newJob(id, spec.Kind(), s.hubCfg)
+	j := newJob(id, spec.Kind(), s.hubCfg, s.logger)
 	jctx, cancel := context.WithCancel(ctx)
 	j.cancel = cancel
 	s.jobs[j.id] = j
 	s.order = append(s.order, j)
+	s.submitted++
 	s.wg.Add(1)
 	s.mu.Unlock()
+	s.logger.Info("job submitted", "job", j.id, "kind", j.kind)
 
 	go func() {
 		defer s.wg.Done()
@@ -192,13 +210,20 @@ func (s *Session) SubmitNamed(ctx context.Context, id string, spec JobSpec) (*Jo
 				defer func() { <-s.jobSlots }()
 			case <-jctx.Done():
 				j.finish(nil, fmt.Errorf("adhocga: job %s cancelled while queued: %w", j.id, jctx.Err()))
+				s.logger.Info("job cancelled while queued", "job", j.id)
 				s.prune()
 				return
 			}
 		}
 		j.setRunning()
+		s.logger.Info("job running", "job", j.id, "kind", j.kind)
 		res, err := spec.run(jctx, s, j.emit)
 		j.finish(res, err)
+		if err != nil {
+			s.logger.Warn("job finished", "job", j.id, "state", string(j.State()), "error", err)
+		} else {
+			s.logger.Info("job finished", "job", j.id, "state", string(j.State()), "events", j.EventCount())
+		}
 		s.prune()
 	}()
 	return j, nil
@@ -228,11 +253,102 @@ func (s *Session) prune() {
 		if terminal > s.retain && j.State().Terminal() {
 			delete(s.jobs, j.id)
 			terminal--
+			// Fold the evicted hub's counters into the retired accumulator
+			// so StreamTotals stays monotonic across evictions.
+			st := j.StreamStats()
+			s.retired.Emitted += st.Emitted
+			s.retired.Overwritten += st.Overwritten
+			s.retired.Resyncs += st.Resyncs
+			s.retired.Evictions += st.Evictions
+			if st.MaxStall > s.retired.MaxStall {
+				s.retired.MaxStall = st.MaxStall
+			}
+			s.logger.Debug("job evicted by retention", "job", j.id, "state", string(j.State()))
 			continue
 		}
 		kept = append(kept, j)
 	}
 	s.order = kept
+}
+
+// SessionStats is a point-in-time census of the session's jobs and
+// execution capacity — the poll surface behind the daemon's session
+// metrics. Counts by state cover only jobs still reachable (retention may
+// have evicted older terminal ones); Submitted is lifetime-monotonic.
+type SessionStats struct {
+	// Submitted counts every accepted submission over the session's
+	// lifetime, including jobs since evicted by retention.
+	Submitted int
+	// Per-state counts of the currently reachable jobs.
+	Queued, Running, Done, Failed, Cancelled int
+	// Retained is the number of reachable jobs (the sum of the above).
+	Retained int
+	// EngineReuses counts jobs that ran on a recycled engine arena.
+	EngineReuses int
+	// PoolSize and PoolBusy are the shared execution pool's slot count
+	// and a point-in-time sample of slots currently held.
+	PoolSize, PoolBusy int
+}
+
+// Stats returns the session's job and capacity census.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	st := SessionStats{
+		Submitted: s.submitted,
+		Retained:  len(s.order),
+	}
+	for _, j := range s.order {
+		switch j.State() {
+		case JobQueued:
+			st.Queued++
+		case JobRunning:
+			st.Running++
+		case JobDone:
+			st.Done++
+		case JobFailed:
+			st.Failed++
+		case JobCancelled:
+			st.Cancelled++
+		}
+	}
+	s.mu.Unlock()
+	st.EngineReuses = s.EngineReuses()
+	st.PoolSize = s.pool.Size()
+	st.PoolBusy = s.pool.InUse()
+	return st
+}
+
+// StreamTotals aggregates StreamStats across every job the session has
+// ever run: live hubs summed at call time plus an accumulator folded in
+// as retention evicts terminal jobs. All counters are lifetime-monotonic
+// except Subscribers, which counts currently-attached subscriptions.
+type StreamTotals struct {
+	Emitted     int
+	Overwritten int
+	Subscribers int
+	Resyncs     int
+	Evictions   int
+	MaxStall    time.Duration
+}
+
+// StreamTotals returns session-wide streaming counters.
+func (s *Session) StreamTotals() StreamTotals {
+	s.mu.Lock()
+	tot := s.retired
+	jobs := append([]*Job(nil), s.order...)
+	s.mu.Unlock()
+	for _, j := range jobs {
+		st := j.StreamStats()
+		tot.Emitted += st.Emitted
+		tot.Overwritten += st.Overwritten
+		tot.Subscribers += st.Subscribers
+		tot.Resyncs += st.Resyncs
+		tot.Evictions += st.Evictions
+		if st.MaxStall > tot.MaxStall {
+			tot.MaxStall = st.MaxStall
+		}
+	}
+	return tot
 }
 
 // acquireEngine returns an engine initialized for cfg, reusing a parked

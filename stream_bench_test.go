@@ -14,6 +14,7 @@ package adhocga
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sync"
@@ -71,9 +72,52 @@ func BenchmarkEventFanout(b *testing.B) {
 	}
 }
 
+// BenchmarkFrameFanout measures the per-subscriber cost of encoding one
+// event for delivery, the unit of work every streaming endpoint (WS, SSE,
+// NDJSON) pays once per event per subscriber. mode=marshal is the
+// pre-cache behavior — each subscriber runs json.Marshal itself; mode=
+// cached goes through the hub's shared frame cache, where the first
+// subscriber marshals and the rest reuse the bytes. The delta between the
+// two modes at the same subscriber count is the frame cache's win.
+func BenchmarkFrameFanout(b *testing.B) {
+	const ringEvents = 64
+	for _, mode := range []string{"marshal", "cached"} {
+		for _, subs := range []int{16, 256} {
+			b.Run(fmt.Sprintf("mode=%s/subs=%d", mode, subs), func(b *testing.B) {
+				j := testJobBench(HubConfig{RingSize: 2 * ringEvents})
+				for i := 0; i < ringEvents; i++ {
+					j.emit(Event{Kind: KindGeneration, Generation: &GenerationEvent{Gen: i}})
+				}
+				events := j.Snapshot()
+				var sink []byte
+				b.ReportAllocs()
+				b.ResetTimer()
+				// One iteration = one event fanned out to all subscribers.
+				for i := 0; i < b.N; i++ {
+					e := events[i%len(events)]
+					for s := 0; s < subs; s++ {
+						var err error
+						if mode == "marshal" {
+							sink, err = json.Marshal(e)
+						} else {
+							sink, err = j.Frame(e)
+						}
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*int64(subs)), "ns/frame")
+				_ = sink
+			})
+		}
+	}
+}
+
 // testJobBench mirrors hub_test.go's testJob for the benchmark file.
 func testJobBench(cfg HubConfig) *Job {
-	j := newJob("job-b", "bench", cfg)
+	j := newJob("job-b", "bench", cfg, nil)
 	j.cancel = func() {}
 	return j
 }
