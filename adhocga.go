@@ -13,6 +13,7 @@ import (
 	"adhocga/internal/game"
 	"adhocga/internal/ipdrp"
 	"adhocga/internal/island"
+	"adhocga/internal/league"
 	"adhocga/internal/network"
 	"adhocga/internal/rng"
 	"adhocga/internal/scenario"
@@ -363,3 +364,48 @@ func DefaultIPDRPConfig(seed uint64) IPDRPConfig { return ipdrp.DefaultConfig(se
 func RunIPDRP(cfg IPDRPConfig) (*IPDRPResult, error) {
 	return DefaultSession().RunIPDRP(context.Background(), cfg)
 }
+
+// Checkpoint is a champion checkpoint observed by the engine's
+// OnCheckpoint hook: the best genome of one generation with its fitness
+// context (see EvolutionConfig.CheckpointInterval).
+type Checkpoint = core.Checkpoint
+
+// Champion is one hall-of-fame record: a checkpointed best-of-generation
+// strategy with its provenance (job, scenario, replicate seed) and
+// classification metadata.
+type Champion = league.Champion
+
+// ChampionArchive is the durable hall of fame champions are checkpointed
+// into (WithChampionArchive) and leagues seat from. Back it with
+// OpenChampionArchive for durability or NewChampionArchive for memory.
+type ChampionArchive = league.Archive
+
+// NewChampionArchive returns an in-memory champion archive.
+func NewChampionArchive() *ChampionArchive { return league.NewMemArchive() }
+
+// OpenChampionArchive opens (or creates) a file-backed champion archive
+// in dir, persisted through the jobstore WAL machinery.
+func OpenChampionArchive(dir string) (*ChampionArchive, error) { return league.OpenDir(dir) }
+
+// LeagueSeat is one league participant: a named strategy expanded to a
+// homogeneous team per match side.
+type LeagueSeat = league.Seat
+
+// LeagueConfig parameterizes a direct league run (see RunLeagueTable);
+// service and session jobs use LeagueJobSpec instead.
+type LeagueConfig = league.Config
+
+// LeagueTable is a league outcome: standings sorted best-first plus the
+// head-to-head matrix. Deterministic JSON at a fixed seed.
+type LeagueTable = league.Table
+
+// LeagueStanding is one seat's row in a LeagueTable.
+type LeagueStanding = league.Standing
+
+// BaselineSeats returns the scripted league seats: all-forward,
+// never-forward, and the paper's Table 7 reciprocal winner.
+func BaselineSeats() []LeagueSeat { return league.BaselineSeats() }
+
+// RunLeagueTable plays a league directly, outside any session (the
+// engine-level entry point; Session.RunLeague is the job-level one).
+func RunLeagueTable(cfg LeagueConfig) (*LeagueTable, error) { return league.Run(cfg) }

@@ -43,6 +43,17 @@
 //	adhocd -log-level debug -log-format json -pprof
 //	curl -s localhost:8547/metrics
 //
+// With -champions, the daemon keeps a hall-of-fame champion archive: any
+// job whose scenarios set "checkpoints" archives its best strategy at
+// each checkpoint generation, GET /v1/champions lists the archive, and
+// POST /v1/league seats selected champions (plus scripted baselines) in a
+// cross-generation round-robin league. Under -store file the archive is
+// its own WAL at <data-dir>/champions and survives restarts:
+//
+//	adhocd -champions -store file -data-dir /var/lib/adhocd
+//	curl -s localhost:8547/v1/champions
+//	curl -s localhost:8547/v1/league -d '{"baselines": true, "seed": 7}'
+//
 // SIGINT/SIGTERM shut the daemon down gracefully: the listener drains,
 // open event streams are closed first (WebSocket viewers get close frame
 // 1011 "going away"), every running job is cancelled at its next
@@ -60,6 +71,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -98,6 +110,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		keepalive = fs.Duration("keepalive", 15*time.Second, "idle SSE/WebSocket keepalive ping interval")
 		storeKind = fs.String("store", "mem", "job persistence backend: mem (gone on exit) or file (WAL under -data-dir, restart-safe)")
 		dataDir   = fs.String("data-dir", "adhocd-data", "directory for the file store's write-ahead log")
+		champions = fs.Bool("champions", false, "keep a hall-of-fame champion archive and serve /v1/champions and /v1/league (persisted under <data-dir>/champions with -store file)")
 		logLevel  = fs.String("log-level", "info", "structured log threshold: debug, info, warn, or error")
 		logFormat = fs.String("log-format", "text", "structured log encoding on stderr: text or json")
 		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiles expose internals; enable deliberately)")
@@ -167,7 +180,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	defer store.Close()
 
-	session := adhocga.NewSession(
+	// The champion archive shares the store's durability story: its own
+	// WAL directory next to the job log under -store file, memory-only
+	// otherwise.
+	var archive *adhocga.ChampionArchive
+	if *champions {
+		if *storeKind == "file" {
+			archive, err = adhocga.OpenChampionArchive(filepath.Join(*dataDir, "champions"))
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			if n := archive.Skipped(); n > 0 {
+				fmt.Fprintf(stderr, "adhocd: skipped %d corrupt champion records in %s\n", n, filepath.Join(*dataDir, "champions"))
+			}
+		} else {
+			archive = adhocga.NewChampionArchive()
+		}
+		defer archive.Close()
+	}
+
+	sessionOpts := []adhocga.SessionOption{
 		adhocga.WithPoolSize(*pool),
 		adhocga.WithMaxConcurrentJobs(*maxJobs),
 		adhocga.WithDefaultScale(sc),
@@ -178,7 +211,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			BlockDeadline:    *blockDL,
 		}),
 		adhocga.WithLogger(logger),
-	)
+	}
+	if archive != nil {
+		sessionOpts = append(sessionOpts, adhocga.WithChampionArchive(archive))
+	}
+	session := adhocga.NewSession(sessionOpts...)
 	defer session.Close()
 
 	ln, err := net.Listen("tcp", *addr)
@@ -190,6 +227,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		DefaultScale:      sc,
 		KeepaliveInterval: *keepalive,
 		Store:             store,
+		Champions:         archive,
 		Version:           version,
 		Logger:            logger,
 		EnablePprof:       *pprofOn,

@@ -238,3 +238,158 @@ func TestDaemonHelpListsEndpoints(t *testing.T) {
 		}
 	}
 }
+
+// startInProcDaemon boots run() with the given extra flags on a free port and
+// returns the base URL plus a shutdown func that asserts a clean exit.
+func startInProcDaemon(t *testing.T, extra ...string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var stdout, stderr syncBuffer
+	done := make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-scale", "smoke"}, extra...)
+	go func() { done <- run(ctx, args, &stdout, &stderr) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("daemon never announced its address; stdout %q stderr %q", stdout.String(), stderr.String())
+		}
+		out := stdout.String()
+		if i := strings.Index(out, "listening on "); i >= 0 {
+			addr := strings.Fields(out[i+len("listening on "):])[0]
+			return "http://" + addr, func() {
+				cancel()
+				select {
+				case code := <-done:
+					if code != 0 {
+						t.Errorf("daemon exited %d; stderr %q", code, stderr.String())
+					}
+				case <-time.After(30 * time.Second):
+					t.Error("daemon did not shut down")
+				}
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDaemonChampionsFlag covers the -champions wiring end to end: a
+// checkpointed job harvests champions into the file-backed archive, a
+// league job plays them, and a restart on the same data dir serves the
+// same hall of fame — while a daemon without the flag 503s the surface.
+func TestDaemonChampionsFlag(t *testing.T) {
+	get := func(base, path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, body
+	}
+
+	// Without the flag the league surface is explicitly unavailable.
+	base, stop := startInProcDaemon(t)
+	if code, body := get(base, "/v1/champions"); code != http.StatusServiceUnavailable {
+		t.Fatalf("champions without -champions: %d %s", code, body)
+	}
+	stop()
+
+	dataDir := t.TempDir()
+	base, stop = startInProcDaemon(t, "-champions", "-store", "file", "-data-dir", dataDir)
+	spec := `{"scenarios": {"name": "d", "environments": [{"csn": 0}], "population": 20,
+	          "tournament_size": 10, "generations": 2, "rounds": 10, "repetitions": 1,
+	          "seed": 3, "checkpoints": 1},
+	          "parallelism": 1}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+
+	// Champions appear once the job's checkpoints land.
+	var champs struct {
+		Count   int    `json:"count"`
+		Archive string `json:"archive"`
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for champs.Count == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no champions harvested")
+		}
+		code, body := get(base, "/v1/champions")
+		if code != http.StatusOK {
+			t.Fatalf("champions: %d %s", code, body)
+		}
+		if err := json.Unmarshal(body, &champs); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if champs.Archive != "file" {
+		t.Fatalf("archive backend %q, want file", champs.Archive)
+	}
+	harvested := champs.Count
+
+	resp, err = http.Post(base+"/v1/league", "application/json",
+		strings.NewReader(`{"baselines": true, "per_side": 2, "matches_per_pair": 1, "rounds": 10, "seed": 7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("league submit: %d %s", resp.StatusCode, body)
+	}
+	var league struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &league); err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		State  string `json:"state"`
+		League *struct {
+			Seats []string `json:"seats"`
+		} `json:"league"`
+	}
+	for job.State != "done" && job.State != "failed" {
+		if time.Now().After(deadline) {
+			t.Fatalf("league job stuck in %q", job.State)
+		}
+		if code, body := get(base, "/v1/jobs/"+league.ID); code == http.StatusOK {
+			if err := json.Unmarshal(body, &job); err != nil {
+				t.Fatal(err)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if job.State != "done" || job.League == nil {
+		t.Fatalf("league job state %q, table %v", job.State, job.League != nil)
+	}
+	if want := harvested + 3; len(job.League.Seats) != want {
+		t.Fatalf("league seated %d, want %d champions + 3 baselines", len(job.League.Seats), want)
+	}
+	stop()
+
+	// Restart on the same data dir: the hall of fame survives.
+	base, stop = startInProcDaemon(t, "-champions", "-store", "file", "-data-dir", dataDir)
+	defer stop()
+	code, body := get(base, "/v1/champions")
+	if code != http.StatusOK {
+		t.Fatalf("champions after restart: %d %s", code, body)
+	}
+	champs.Count = 0
+	if err := json.Unmarshal(body, &champs); err != nil {
+		t.Fatal(err)
+	}
+	if champs.Count != harvested {
+		t.Fatalf("restarted archive has %d champions, want %d", champs.Count, harvested)
+	}
+}

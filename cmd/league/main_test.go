@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes the CLI seam and returns (exit code, stdout, stderr).
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestBaselinesOnlyLeague(t *testing.T) {
+	code, out, errOut := runCLI(t,
+		"-baselines", "-per-side", "2", "-rounds", "10", "-matches", "1", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"league table (3 seats, 3 matches, seed 7)", "winner:", "head-to-head"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONOutputDeterministic(t *testing.T) {
+	args := []string{"-baselines", "-per-side", "2", "-rounds", "10", "-matches", "1", "-seed", "7", "-json"}
+	_, first, _ := runCLI(t, args...)
+	code, second, errOut := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if first != second {
+		t.Fatalf("JSON output not deterministic:\n%s\n%s", first, second)
+	}
+	if !strings.Contains(first, `"standings"`) || !strings.Contains(first, `"head_to_head"`) {
+		t.Fatalf("JSON output missing table fields:\n%s", first)
+	}
+}
+
+// TestHarvestListLeague drives the full pipeline against a file-backed
+// archive: harvest champions from a tiny checkpointed run, list them from
+// a fresh process (restart), and play the league over the reopened
+// archive.
+func TestHarvestListLeague(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "hof")
+	code, out, errOut := runCLI(t,
+		"-archive", dir, "-harvest", "-case", "1",
+		"-generations", "4", "-reps", "1", "-checkpoints", "2",
+		"-rounds", "10", "-list", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("harvest exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "champion archive (file") {
+		t.Fatalf("list output missing archive header:\n%s", out)
+	}
+	if !strings.Contains(out, "/case 1 (TE1, SP)/r0/g0") {
+		t.Fatalf("list output missing generation-0 champion:\n%s", out)
+	}
+
+	code, out, errOut = runCLI(t,
+		"-archive", dir, "-baselines", "-per-side", "2", "-rounds", "10", "-matches", "1", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("league exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "winner:") || !strings.Contains(out, "champion/") {
+		t.Fatalf("league output missing champions:\n%s", out)
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad path mode":     {"-baselines", "-path", "XX"},
+		"no seats":          {"-per-side", "2"},
+		"unknown champion":  {"-baselines", "-ids", "no/such/champion"},
+		"bad harvest case":  {"-harvest", "-case", "9", "-baselines"},
+		"zero harvest gens": {"-harvest", "-generations", "0", "-baselines"},
+	} {
+		code, _, _ := runCLI(t, args...)
+		if code == 0 {
+			t.Errorf("%s: exit 0, want nonzero", name)
+		}
+	}
+}

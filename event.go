@@ -37,6 +37,10 @@ const (
 	// KindChurn: a dynamics barrier perturbed a replicate (Event.Churn is
 	// set).
 	KindChurn EventKind = "churn"
+	// KindCheckpoint: a champion checkpoint fired in a replicate
+	// (Event.Checkpoint is set). Emitted only by scenarios that enable
+	// checkpoints; the session's champion archive consumes these.
+	KindCheckpoint EventKind = "checkpoint"
 	// KindDone: terminal event, always exactly one and always last
 	// (Event.Done is set).
 	KindDone EventKind = "done"
@@ -54,6 +58,7 @@ type Event struct {
 	Islands    *IslandsEvent    `json:"islands,omitempty"`
 	Replicate  *ReplicateEvent  `json:"replicate,omitempty"`
 	Churn      *ChurnEvent      `json:"churn,omitempty"`
+	Checkpoint *CheckpointEvent `json:"checkpoint,omitempty"`
 	Done       *DoneEvent       `json:"done,omitempty"`
 }
 
@@ -106,6 +111,21 @@ type ChurnEvent struct {
 	Scenario int `json:"scenario"`
 	Rep      int `json:"rep"`
 	Gen      int `json:"gen"`
+}
+
+// CheckpointEvent reports a champion checkpoint: the best genome of
+// generation Gen in one replicate, with its fitness context and the
+// replicate's master seed (the replay provenance a hall-of-fame archive
+// stores). Emitted only when the workload enables checkpoints.
+type CheckpointEvent struct {
+	Scenario int     `json:"scenario"`
+	Rep      int     `json:"rep"`
+	Gen      int     `json:"gen"`
+	Seed     uint64  `json:"seed"`
+	Genome   string  `json:"genome"`
+	Fitness  float64 `json:"fitness"`
+	MeanFit  float64 `json:"mean_fit"`
+	Coop     float64 `json:"coop"`
 }
 
 // DoneEvent is the terminal event of every job: the final state and, for

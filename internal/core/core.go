@@ -57,6 +57,16 @@ type Config struct {
 	// setting it cannot change results.
 	OnChurn func(generation int)
 
+	// CheckpointInterval and OnCheckpoint extract hall-of-fame champions:
+	// when both are set (interval > 0, hook non-nil), the hook receives a
+	// Checkpoint right after the evaluation of every CheckpointInterval-th
+	// generation (0, interval, 2·interval, …) and always of the final one.
+	// Like OnChurn it is purely observational — the hook never consumes
+	// engine randomness and the champion genome is deep-copied — so
+	// enabling checkpoints cannot change results.
+	CheckpointInterval int
+	OnCheckpoint       func(Checkpoint)
+
 	// Constraint, when non-nil, is applied in place to every genome as it
 	// enters the population (initialization and reproduction). It
 	// restricts the search space for ablations — e.g. forcing the three
@@ -151,6 +161,29 @@ type GenerationStats struct {
 	// summary number for multi-environment cases.
 	MeanEnvCooperation float64
 	Fitness            ga.PopulationStats
+}
+
+// Checkpoint is the observational champion snapshot handed to
+// OnCheckpoint: the best-fitness individual of a just-evaluated
+// generation, deep-copied so it stays valid after the engine evolves on
+// or is reinitialized for another job.
+type Checkpoint struct {
+	Generation  int
+	Best        strategy.Strategy
+	Fitness     float64
+	MeanFitness float64
+	Cooperation float64
+}
+
+// CheckpointDue reports whether a run of the given length fires a
+// checkpoint at generation gen under the given interval: every
+// interval-th generation plus the final one. Interval <= 0 disables
+// checkpoints entirely.
+func CheckpointDue(gen, interval, generations int) bool {
+	if interval <= 0 {
+		return false
+	}
+	return gen%interval == 0 || gen == generations-1
 }
 
 // Result is the outcome of a run.
@@ -489,6 +522,17 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 				CoopPerEnv:         collector.CooperationPerEnv(),
 				MeanEnvCooperation: collector.MeanEnvCooperation(),
 				Fitness:            fitStats,
+			})
+		}
+
+		if e.cfg.OnCheckpoint != nil && CheckpointDue(gen, e.cfg.CheckpointInterval, e.cfg.Generations) {
+			best := e.genomes[fitStats.BestIndex]
+			e.cfg.OnCheckpoint(Checkpoint{
+				Generation:  gen,
+				Best:        strategy.New(best.Genome.Clone()),
+				Fitness:     best.Fitness,
+				MeanFitness: fitStats.MeanFitness,
+				Cooperation: collector.CooperationLevel(),
 			})
 		}
 

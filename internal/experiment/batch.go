@@ -136,6 +136,11 @@ func runJobs(ctx context.Context, jobs []job, opts Options) ([]*CaseResult, erro
 			if opts.OnChurn != nil {
 				icfg.Core.OnChurn = func(gen int) { opts.OnChurn(u.job, u.rep, gen) }
 			}
+			if opts.OnCheckpoint != nil {
+				icfg.OnCheckpoint = func(cp core.Checkpoint) {
+					opts.OnCheckpoint(u.job, u.rep, u.seed, cp)
+				}
+			}
 			engine, err := island.New(icfg)
 			if err != nil {
 				return err
@@ -159,6 +164,11 @@ func runJobs(ctx context.Context, jobs []job, opts Options) ([]*CaseResult, erro
 		}
 		if opts.OnChurn != nil {
 			cfg.OnChurn = func(gen int) { opts.OnChurn(u.job, u.rep, gen) }
+		}
+		if opts.OnCheckpoint != nil {
+			cfg.OnCheckpoint = func(cp core.Checkpoint) {
+				opts.OnCheckpoint(u.job, u.rep, u.seed, cp)
+			}
 		}
 		engine, err := core.New(cfg)
 		if err != nil {

@@ -182,6 +182,11 @@ type Options struct {
 	// OnChurn fires after each dynamics barrier that perturbed a
 	// replicate, with the generation whose reproduction it followed.
 	OnChurn func(scenario, rep, generation int)
+	// OnCheckpoint fires at every champion checkpoint of a replicate
+	// (serial or island) when the scenario enables them
+	// (scenario.Spec.Checkpoints > 0), with the replicate's master seed —
+	// the provenance a hall-of-fame archive records.
+	OnCheckpoint func(scenario, rep int, seed uint64, cp core.Checkpoint)
 }
 
 // RunCase runs one evaluation case at the given scale and aggregates the

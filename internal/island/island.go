@@ -84,6 +84,14 @@ type Config struct {
 	// and per-island snapshot at the barrier, after evaluation and before
 	// migration.
 	OnGeneration func(GenerationStats)
+	// OnCheckpoint, when non-nil and Core.CheckpointInterval > 0, receives
+	// the cross-island champion (best of the just-evaluated generation over
+	// all islands, ties broken by lowest island then lowest index) at every
+	// Core.CheckpointInterval-th barrier and at the final one. It fires
+	// after evaluation and before migration, is purely observational, and
+	// never consumes any engine or migration randomness. Core.OnCheckpoint
+	// is ignored (per-island hooks are stripped, like Core.OnGeneration).
+	OnCheckpoint func(core.Checkpoint)
 }
 
 // GenerationStats is the per-generation snapshot handed to OnGeneration.
@@ -168,6 +176,7 @@ func (c Config) islandConfig(per int, seed uint64) core.Config {
 	cfg.PopulationSize = per
 	cfg.Seed = seed
 	cfg.OnGeneration = nil
+	cfg.OnCheckpoint = nil
 	return cfg
 }
 
@@ -304,6 +313,24 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 				Cooperation:        merged.CooperationLevel(),
 				MeanEnvCooperation: merged.MeanEnvCooperation(),
 				Islands:            append([]ga.PopulationStats(nil), islandStats...),
+			})
+		}
+
+		if e.cfg.OnCheckpoint != nil && core.CheckpointDue(gen, e.cfg.Core.CheckpointInterval, gens) {
+			bi, mean := 0, 0.0
+			for i, st := range islandStats {
+				if st.BestFitness > islandStats[bi].BestFitness {
+					bi = i
+				}
+				mean += st.MeanFitness
+			}
+			best := e.islands[bi].Population()[islandStats[bi].BestIndex]
+			e.cfg.OnCheckpoint(core.Checkpoint{
+				Generation:  gen,
+				Best:        strategy.New(best.Genome.Clone()),
+				Fitness:     best.Fitness,
+				MeanFitness: mean / float64(n),
+				Cooperation: merged.CooperationLevel(),
 			})
 		}
 

@@ -473,3 +473,86 @@ func TestMigrationChangesOutcome(t *testing.T) {
 		t.Error("migration had no effect on the run at all")
 	}
 }
+
+// TestCheckpointHookFiresAcrossIslands pins the cross-island checkpoint
+// contract: the hook fires at every CheckpointInterval-th barrier plus
+// the final one, hands over the best-of-all-islands champion for that
+// generation, and — being purely observational — never changes the run.
+func TestCheckpointHookFiresAcrossIslands(t *testing.T) {
+	cfg := testConfig(24, 6, 42)
+	cfg.CheckpointInterval = 2
+
+	var checkpoints []core.Checkpoint
+	var gens []GenerationStats
+	eng, err := New(Config{
+		Core:        cfg,
+		Count:       2,
+		Topology:    Ring,
+		Interval:    2,
+		Migrants:    1,
+		Parallelism: 2,
+		OnGeneration: func(gs GenerationStats) {
+			gens = append(gens, gs)
+		},
+		OnCheckpoint: func(cp core.Checkpoint) {
+			checkpoints = append(checkpoints, cp)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withHooks, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Generations 0..5 at interval 2: 0, 2, 4, plus the forced final 5.
+	wantGens := []int{0, 2, 4, 5}
+	if len(checkpoints) != len(wantGens) {
+		t.Fatalf("%d checkpoints, want %d", len(checkpoints), len(wantGens))
+	}
+	for i, cp := range checkpoints {
+		if cp.Generation != wantGens[i] {
+			t.Errorf("checkpoint %d at generation %d, want %d", i, cp.Generation, wantGens[i])
+		}
+		if cp.Best.Genome().Len() == 0 {
+			t.Errorf("checkpoint %d has an empty champion genome", i)
+		}
+		// The champion must be the best over *all* islands at that
+		// barrier — cross-checked against the OnGeneration snapshot.
+		gs := gens[cp.Generation]
+		bestFit, meanSum := gs.Islands[0].BestFitness, 0.0
+		for _, st := range gs.Islands {
+			if st.BestFitness > bestFit {
+				bestFit = st.BestFitness
+			}
+			meanSum += st.MeanFitness
+		}
+		if cp.Fitness != bestFit {
+			t.Errorf("checkpoint %d fitness %v, want cross-island best %v", i, cp.Fitness, bestFit)
+		}
+		if want := meanSum / float64(len(gs.Islands)); cp.MeanFitness != want {
+			t.Errorf("checkpoint %d mean fitness %v, want %v", i, cp.MeanFitness, want)
+		}
+		if cp.Cooperation != gs.Cooperation {
+			t.Errorf("checkpoint %d cooperation %v, want %v", i, cp.Cooperation, gs.Cooperation)
+		}
+	}
+
+	// Observational: the same run without any hooks is bit-identical.
+	bare := cfg
+	bare.CheckpointInterval = 0
+	plainEng, err := New(Config{
+		Core: bare, Count: 2, Topology: Ring, Interval: 2, Migrants: 1, Parallelism: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := plainEng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fingerprint(withHooks), fingerprint(plain)) {
+		t.Error("enabling checkpoints changed the run")
+	}
+}

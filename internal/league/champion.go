@@ -1,0 +1,190 @@
+// Package league implements the coevolution league: a durable
+// hall-of-fame archive of champion strategies extracted at generation
+// checkpoints, and a cross-generation match engine that seats archived
+// champions, current-population snapshots, and scripted baseline agents
+// into round-robin tournament evaluations.
+//
+// The paper evolves one population against itself, so a genome's fitness
+// is only ever measured against its contemporaries. The league answers
+// the questions that setup cannot: do late-generation champions actually
+// beat early ones, and how do evolved strategies fare against scripted
+// baselines? Re-evaluating historical strategies against later
+// environments is exactly the capability the adaptive/hybridized-strategy
+// and dynamic-environment memory literature presupposes.
+//
+// # Determinism contract
+//
+// A league run is bit-identical for a fixed Config regardless of
+// GOMAXPROCS or the Parallelism setting: every match's seed is derived up
+// front from the root seed in (pair, repetition) order before any
+// parallel work starts, each match owns all of its mutable state
+// (players, reputation stores, path generator, RNG stream), and the
+// table is assembled from the match outcomes in deterministic order.
+// Champions are archived through the jobstore WAL machinery, so a table
+// computed from a reopened archive is byte-identical to one computed
+// before the restart.
+package league
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+
+	"adhocga/internal/strategy"
+)
+
+// Champion is one hall-of-fame record: a checkpointed best-of-generation
+// strategy together with everything needed to query it (classification
+// metadata, fitness context) and to replay its provenance (the replicate
+// master seed and the job/scenario it came from — under the determinism
+// contract, (seed, spec) reproduces the run that evolved it).
+type Champion struct {
+	// ID identifies the champion in the archive and the league table.
+	// IDs built by ChampionID are deterministic in the provenance, so
+	// re-running a recovered job re-puts identical records instead of
+	// duplicating them.
+	ID string `json:"id"`
+	// Job is the session job that evolved the champion ("" for direct
+	// engine runs).
+	Job string `json:"job,omitempty"`
+	// Scenario names the scenario within the job's batch.
+	Scenario string `json:"scenario,omitempty"`
+	// Rep is the replicate index within the scenario; Generation the
+	// generation the checkpoint observed (after evaluation, before
+	// reproduction).
+	Rep        int `json:"rep"`
+	Generation int `json:"gen"`
+	// Genome is the 13-bit strategy in compact form ("0101011011111").
+	Genome string `json:"genome"`
+	// Seed is the replicate's master seed — the replay provenance.
+	Seed uint64 `json:"seed"`
+	// Fitness is the champion's own eq. 1 fitness at the checkpoint;
+	// MeanFitness and Cooperation are the population mean fitness and the
+	// §6.2 cooperation level of the same generation.
+	Fitness     float64 `json:"fitness"`
+	MeanFitness float64 `json:"mean_fitness"`
+	Cooperation float64 `json:"coop"`
+	// Category and Cooperativeness are the strategy.Classify metadata,
+	// stored so the archive is queryable without re-deriving them. The
+	// codec re-derives and cross-checks both on decode.
+	Category        string  `json:"category"`
+	Cooperativeness float64 `json:"cooperativeness"`
+}
+
+// ChampionID builds the deterministic archive ID for a checkpoint:
+// job/scenario/replicate/generation. Deterministic IDs make archiving
+// idempotent across crash recovery — a resumed job re-puts byte-identical
+// records under the same IDs.
+func ChampionID(job, scenario string, rep, gen int) string {
+	if job == "" {
+		job = "run"
+	}
+	if scenario == "" {
+		scenario = "scenario"
+	}
+	return fmt.Sprintf("%s/%s/r%d/g%d", job, scenario, rep, gen)
+}
+
+// Strategy decodes the champion's genome.
+func (c Champion) Strategy() (strategy.Strategy, error) {
+	return strategy.Parse(c.Genome)
+}
+
+// Validate checks internal consistency: a parsable 13-bit genome,
+// non-negative indices, and classification metadata that matches what the
+// genome actually derives to.
+func (c Champion) Validate() error {
+	if c.ID == "" {
+		return fmt.Errorf("league: champion has no id")
+	}
+	if c.Rep < 0 || c.Generation < 0 {
+		return fmt.Errorf("league: champion %s has negative rep/generation", c.ID)
+	}
+	s, err := strategy.Parse(c.Genome)
+	if err != nil {
+		return fmt.Errorf("league: champion %s: %w", c.ID, err)
+	}
+	if got := string(s.Classify()); got != c.Category {
+		return fmt.Errorf("league: champion %s category %q does not match genome (derives %q)", c.ID, c.Category, got)
+	}
+	if got := s.Cooperativeness(); got != c.Cooperativeness {
+		return fmt.Errorf("league: champion %s cooperativeness %v does not match genome (derives %v)", c.ID, c.Cooperativeness, got)
+	}
+	return nil
+}
+
+// Fill derives the classification metadata (Category, Cooperativeness)
+// from the genome in place — for builders that have the genome but not
+// the metadata yet.
+func (c *Champion) Fill() error {
+	s, err := strategy.Parse(c.Genome)
+	if err != nil {
+		return err
+	}
+	c.Category = string(s.Classify())
+	c.Cooperativeness = s.Cooperativeness()
+	return nil
+}
+
+// The champion codec: a self-checking JSON envelope
+//
+//	{"crc":"<crc32 8hex>","champion":{...deterministic champion JSON...}}
+//
+// The CRC is computed over the exact champion payload bytes, so bit
+// flips anywhere in the payload are detected even when the mutation
+// still parses as JSON (a flipped digit in a fitness field, say).
+// Truncation breaks the envelope parse. The envelope is itself valid
+// JSON, which is what lets a champion record ride in a jobstore.Record's
+// Spec field — and therefore through the WAL's own framing, checksums,
+// torn-tail repair, and compaction — without any new durability code.
+
+type championEnvelope struct {
+	CRC      string          `json:"crc"`
+	Champion json.RawMessage `json:"champion"`
+}
+
+// EncodeChampion serializes a champion in the self-checking envelope
+// form. The encoding is deterministic: fixed field order, no timestamps.
+func EncodeChampion(c Champion) ([]byte, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("league: encode champion %s: %w", c.ID, err)
+	}
+	env, err := json.Marshal(championEnvelope{
+		CRC:      fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload)),
+		Champion: payload,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("league: encode champion %s: %w", c.ID, err)
+	}
+	return env, nil
+}
+
+// DecodeChampion reverses EncodeChampion, rejecting anything corrupt:
+// envelope or payload that does not parse, a CRC that does not match the
+// payload bytes, a genome that is not a valid 13-bit strategy, or
+// classification metadata inconsistent with the genome. It never panics,
+// whatever the input.
+func DecodeChampion(b []byte) (Champion, error) {
+	var env championEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return Champion{}, fmt.Errorf("league: champion envelope: %w", err)
+	}
+	if len(env.Champion) == 0 {
+		return Champion{}, fmt.Errorf("league: champion envelope has no payload")
+	}
+	if sum := fmt.Sprintf("%08x", crc32.ChecksumIEEE(env.Champion)); sum != env.CRC {
+		return Champion{}, fmt.Errorf("league: champion checksum mismatch: have %s, computed %s", env.CRC, sum)
+	}
+	var c Champion
+	if err := json.Unmarshal(env.Champion, &c); err != nil {
+		return Champion{}, fmt.Errorf("league: champion payload: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Champion{}, err
+	}
+	return c, nil
+}

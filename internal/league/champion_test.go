@@ -1,0 +1,183 @@
+package league
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"strings"
+	"testing"
+
+	"adhocga/internal/strategy"
+)
+
+// testChampion builds a valid champion with derived metadata.
+func testChampion(t *testing.T, id, genome string) Champion {
+	t.Helper()
+	c := Champion{
+		ID:          id,
+		Job:         "job-1",
+		Scenario:    "case 1",
+		Rep:         0,
+		Generation:  10,
+		Genome:      genome,
+		Seed:        42,
+		Fitness:     1.5,
+		MeanFitness: 1.25,
+		Cooperation: 0.75,
+	}
+	if err := c.Fill(); err != nil {
+		t.Fatalf("Fill(%q): %v", genome, err)
+	}
+	return c
+}
+
+func TestChampionID(t *testing.T) {
+	for _, tc := range []struct {
+		job, scenario string
+		rep, gen      int
+		want          string
+	}{
+		{"job-1", "case 1 (TE1, SP)", 0, 10, "job-1/case 1 (TE1, SP)/r0/g10"},
+		{"", "", 2, 0, "run/scenario/r2/g0"},
+		{"j", "", 0, 499, "j/scenario/r0/g499"},
+	} {
+		if got := ChampionID(tc.job, tc.scenario, tc.rep, tc.gen); got != tc.want {
+			t.Errorf("ChampionID(%q, %q, %d, %d) = %q, want %q", tc.job, tc.scenario, tc.rep, tc.gen, got, tc.want)
+		}
+	}
+	// Determinism is the point: same provenance, same ID.
+	if ChampionID("a", "b", 1, 2) != ChampionID("a", "b", 1, 2) {
+		t.Fatal("ChampionID not deterministic")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := testChampion(t, "job-1/case 1/r0/g10", "0101011011111")
+	env, err := EncodeChampion(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The encoding is deterministic: encoding twice yields identical bytes.
+	env2, err := EncodeChampion(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(env) != string(env2) {
+		t.Fatalf("encoding not deterministic:\n%s\n%s", env, env2)
+	}
+	got, err := DecodeChampion(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("round trip changed champion:\ngot  %+v\nwant %+v", got, c)
+	}
+	s, err := got.Strategy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Key() != c.Genome {
+		t.Fatalf("Strategy().Key() = %q, want %q", s.Key(), c.Genome)
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	valid := testChampion(t, "id", "0101011011111")
+	for name, mutate := range map[string]func(*Champion){
+		"empty id":       func(c *Champion) { c.ID = "" },
+		"negative rep":   func(c *Champion) { c.Rep = -1 },
+		"negative gen":   func(c *Champion) { c.Generation = -1 },
+		"bad genome":     func(c *Champion) { c.Genome = "xyz" },
+		"short genome":   func(c *Champion) { c.Genome = "0101" },
+		"stale category": func(c *Champion) { c.Category = "no-such-category" },
+		"stale cooperativeness": func(c *Champion) {
+			c.Cooperativeness = c.Cooperativeness + 1
+		},
+	} {
+		c := valid
+		mutate(&c)
+		if _, err := EncodeChampion(c); err == nil {
+			t.Errorf("%s: EncodeChampion accepted invalid champion", name)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	env, err := EncodeChampion(testChampion(t, "id", "0101011011111"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every proper prefix must fail cleanly (and never panic).
+	for n := 0; n < len(env); n++ {
+		if _, err := DecodeChampion(env[:n]); err == nil {
+			t.Fatalf("DecodeChampion accepted truncation to %d/%d bytes", n, len(env))
+		}
+	}
+}
+
+func TestDecodeRejectsBitFlips(t *testing.T) {
+	orig := testChampion(t, "id", "0101011011111")
+	env, err := EncodeChampion(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No single-bit flip anywhere in the envelope may silently alter the
+	// champion: almost every flip is rejected outright (broken JSON, CRC
+	// mismatch, invalid champion); the only survivable flips are case
+	// changes in the envelope's own key names (encoding/json matches keys
+	// case-insensitively), which leave the checksummed payload untouched —
+	// so an accepted mutation must decode to the identical champion.
+	for i := range env {
+		for bit := 0; bit < 8; bit++ {
+			mutated := make([]byte, len(env))
+			copy(mutated, env)
+			mutated[i] ^= 1 << bit
+			got, err := DecodeChampion(mutated)
+			if err == nil && got != orig {
+				t.Fatalf("bit flip at byte %d bit %d silently changed the champion:\ngot  %+v\nwant %+v", i, bit, got, orig)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsLyingMetadata(t *testing.T) {
+	// A syntactically perfect envelope — valid JSON, CRC recomputed over
+	// the tampered payload — whose metadata lies about the genome. This
+	// models a stale or buggy writer rather than random corruption: the
+	// decoder re-derives Classify/Cooperativeness and refuses.
+	c := testChampion(t, "id", strategy.AllForward().Key())
+	payload, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(payload), c.Category, "cooperative-lie", 1)
+	if tampered == string(payload) {
+		t.Fatal("tamper did not change payload")
+	}
+	env, err := json.Marshal(championEnvelope{
+		CRC:      fmt.Sprintf("%08x", crc32.ChecksumIEEE([]byte(tampered))),
+		Champion: json.RawMessage(tampered),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeChampion(env); err == nil {
+		t.Fatal("DecodeChampion accepted lying category behind a valid CRC")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	for _, b := range [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("{}"),
+		[]byte(`{"crc":"00000000"}`),
+		[]byte(`{"crc":"00000000","champion":{}}`),
+		[]byte(`{"crc":"not-hex","champion":{"id":"x"}}`),
+		[]byte("\xff\xfe\x00garbage"),
+	} {
+		if _, err := DecodeChampion(b); err == nil {
+			t.Errorf("DecodeChampion(%q) accepted garbage", b)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package league
+
+import (
+	"testing"
+)
+
+// FuzzChampionCodec attacks DecodeChampion with arbitrary bytes —
+// truncations, bit flips, valid-JSON-wrong-schema documents, binary
+// noise. The decoder must never panic; anything it does accept must be
+// internally consistent (Validate passes) and must re-encode to an
+// envelope that decodes back to the identical champion. CI runs this as
+// a short -fuzztime smoke on top of the checked-in corpus
+// (testdata/fuzz); locally run e.g.
+//
+//	go test -fuzz FuzzChampionCodec -fuzztime 30s ./internal/league/
+func FuzzChampionCodec(f *testing.F) {
+	// A valid envelope to mutate from, its interesting prefixes, and
+	// shapes that probe each decoder stage.
+	seed := Champion{
+		ID: "job-1/case 1/r0/g10", Job: "job-1", Scenario: "case 1",
+		Generation: 10, Genome: "0101011011111", Seed: 42,
+		Fitness: 1.5, MeanFitness: 1.25, Cooperation: 0.75,
+	}
+	if err := seed.Fill(); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := EncodeChampion(seed)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"crc":"00000000","champion":{"id":"x","genome":"0101011011111"}}`))
+	f.Add([]byte(`{"crc":"ffffffff","champion":null}`))
+	f.Add([]byte("\x00\x01\x02\xff"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		c, err := DecodeChampion(b)
+		if err != nil {
+			return
+		}
+		// Accepted input: the champion must satisfy its own invariants and
+		// survive a lossless round trip.
+		if err := c.Validate(); err != nil {
+			t.Fatalf("decoder accepted invalid champion %+v: %v", c, err)
+		}
+		env, err := EncodeChampion(c)
+		if err != nil {
+			t.Fatalf("accepted champion does not re-encode: %v", err)
+		}
+		again, err := DecodeChampion(env)
+		if err != nil {
+			t.Fatalf("re-encoded envelope does not decode: %v", err)
+		}
+		if again != c {
+			t.Fatalf("round trip changed champion:\nfirst  %+v\nsecond %+v", c, again)
+		}
+	})
+}

@@ -50,6 +50,11 @@ func Families() []Family {
 			Specs:       AdversaryGrid,
 		},
 		{
+			Name:        "league",
+			Description: "champion-harvest runs: the Table 4 cases with generation checkpoints archiving hall-of-fame champions for league play",
+			Specs:       LeagueHarvest,
+		},
+		{
 			Name:        "table4-islands",
 			Description: "the four Table 4 cases on a 4-island ring (population 200, 2 migrants every 10 generations)",
 			Specs:       Table4Islands,
@@ -150,6 +155,21 @@ func TournamentSizeSweep() []Spec {
 			PathMode:       "SP",
 			TournamentSize: size,
 		})
+	}
+	return specs
+}
+
+// LeagueHarvest is Table4 with generation checkpoints turned on: every 10
+// generations (and at the final one) the best strategy of the moment is
+// archived as a hall-of-fame champion, so a single family run seeds the
+// coevolution league with snapshots spanning the whole evolutionary
+// trajectory — early naive strategies, mid-run transients, and the final
+// converged winners — across all four paper environments.
+func LeagueHarvest() []Spec {
+	specs := Table4()
+	for i := range specs {
+		specs[i].Name += " league-harvest"
+		specs[i].Checkpoints = 10
 	}
 	return specs
 }

@@ -180,6 +180,10 @@ type Spec struct {
 	// the seed the run was invoked with; replicate seeds are always
 	// derived from the master by splitting, never used directly.
 	Seed uint64 `json:"seed,omitempty"`
+	// Checkpoints, when positive, extracts a hall-of-fame champion every
+	// Checkpoints generations (and at the final one) for the league
+	// archive. Purely observational: it never changes results.
+	Checkpoints int `json:"checkpoints,omitempty"`
 	// GA overrides the genetic-algorithm parameters.
 	GA *GASpec `json:"ga,omitempty"`
 	// Islands, when set, runs the scenario on the island-model engine
@@ -220,6 +224,7 @@ func (s Spec) Validate() error {
 		{"population", s.Population},
 		{"generations", s.Generations},
 		{"repetitions", s.Repetitions},
+		{"checkpoints", s.Checkpoints},
 	} {
 		if f.v < 0 {
 			return fmt.Errorf("scenario %q: negative %s", s.Name, f.name)
@@ -339,6 +344,7 @@ func (s Spec) Config(seed uint64) (core.Config, error) {
 	cfg := core.PaperConfig(s.Envs(), mode, seed)
 	cfg.Generations = s.Generations
 	cfg.Eval.Tournament.Rounds = s.Rounds
+	cfg.CheckpointInterval = s.Checkpoints
 	if s.Population > 0 {
 		cfg.PopulationSize = s.Population
 	}

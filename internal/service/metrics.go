@@ -94,6 +94,20 @@ func (s *Server) registerMetrics() {
 		"Completed HTTP requests by route pattern and status code.", "route", "code")
 	s.verifies = m.CounterVec("adhocd_verify_total",
 		"Verify replays by verdict (match, mismatch, error).", "verdict")
+	s.leagueRuns = m.Counter("adhoc_league_runs_total",
+		"League jobs accepted via POST /v1/league.")
+	s.leagueMatches = m.Counter("adhoc_league_matches_total",
+		"Matches played by finished league jobs.")
+
+	// Champion archive census, when one is configured.
+	if a := s.opts.Champions; a != nil {
+		m.GaugeFunc("adhoc_champions",
+			"Champions currently in the hall-of-fame archive.",
+			func() float64 { return float64(a.Len()) })
+		m.GaugeFunc("adhoc_champions_skipped",
+			"Corrupt or foreign records skipped while loading the champion archive.",
+			func() float64 { return float64(a.Skipped()) })
+	}
 
 	// Session census.
 	m.CounterFunc("adhocd_jobs_submitted_total",

@@ -47,17 +47,26 @@ func newRecord(id string, sp resolvedSubmit) (jobstore.Record, error) {
 	}, nil
 }
 
-// specFromRecord reverses newRecord: the stored document back into a
-// runnable workload.
-func specFromRecord(rec jobstore.Record) (adhocga.ScenariosSpec, error) {
+// specFromRecord reverses newRecord/newLeagueRecord: the stored document
+// back into a runnable workload, dispatched by the record's Kind.
+func specFromRecord(rec jobstore.Record) (adhocga.JobSpec, error) {
 	if len(rec.Spec) == 0 {
-		return adhocga.ScenariosSpec{}, fmt.Errorf("record %s has no spec", rec.ID)
+		return nil, fmt.Errorf("record %s has no spec", rec.ID)
 	}
-	var sp resolvedSubmit
-	if err := json.Unmarshal(rec.Spec, &sp); err != nil {
-		return adhocga.ScenariosSpec{}, fmt.Errorf("record %s spec: %w", rec.ID, err)
+	switch rec.Kind {
+	case "league":
+		var sp adhocga.LeagueJobSpec
+		if err := json.Unmarshal(rec.Spec, &sp); err != nil {
+			return nil, fmt.Errorf("record %s spec: %w", rec.ID, err)
+		}
+		return sp, nil
+	default:
+		var sp resolvedSubmit
+		if err := json.Unmarshal(rec.Spec, &sp); err != nil {
+			return nil, fmt.Errorf("record %s spec: %w", rec.ID, err)
+		}
+		return sp.jobSpec()
 	}
-	return sp.jobSpec()
 }
 
 // digest is the store's canonical content hash: hex SHA-256.
@@ -145,7 +154,13 @@ func (s *Server) finalizeRecord(rec jobstore.Record, j *adhocga.Job) jobstore.Re
 	if j.State() != adhocga.JobDone {
 		return rec
 	}
-	if results, err := json.Marshal(resultsOf(j)); err == nil {
+	if table := leagueOf(j); table != nil {
+		if result, err := json.Marshal(table); err == nil {
+			rec.Result = result
+			rec.ResultDigest = digest(result)
+		}
+		s.leagueMatches.Add(uint64(table.Matches))
+	} else if results, err := json.Marshal(resultsOf(j)); err == nil {
 		rec.Result = results
 		rec.ResultDigest = digest(results)
 	}

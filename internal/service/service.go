@@ -10,12 +10,15 @@
 // # API
 //
 //	POST   /v1/jobs             submit a scenario batch; returns the job handle
-//	GET    /v1/jobs             list all jobs, in submission order
+//	GET    /v1/jobs             list jobs in submission order (?state= filters)
 //	GET    /v1/jobs/{id}        job status (+ per-scenario results when done)
 //	GET    /v1/jobs/{id}/events stream events as NDJSON (or SSE via Accept)
 //	GET    /v1/jobs/{id}/ws     stream events over WebSocket (live fan-out)
 //	POST   /v1/jobs/{id}/verify replay a finished job and compare (see verify.go)
 //	DELETE /v1/jobs/{id}        cancel the job cooperatively
+//	GET    /v1/champions        list the hall of fame (?category=, ?job= filter)
+//	GET    /v1/champions/{id}   one champion record
+//	POST   /v1/league           run a league over selected champions (league.go)
 //	GET    /healthz             liveness + build/store/recovery report
 //
 // # Durability
@@ -78,6 +81,7 @@ import (
 	"adhocga"
 	"adhocga/internal/experiment"
 	"adhocga/internal/jobstore"
+	"adhocga/internal/league"
 	"adhocga/internal/obs"
 	"adhocga/internal/scenario"
 	"adhocga/internal/ws"
@@ -123,6 +127,11 @@ type Options struct {
 	// /debug/pprof/ — opt-in because profiles expose internals and cost
 	// CPU while running.
 	EnablePprof bool
+	// Champions is the hall-of-fame archive behind /v1/champions and
+	// /v1/league. It should be the same archive the session was built
+	// with (WithChampionArchive) so checkpointed champions become
+	// queryable. nil disables the league endpoints (503).
+	Champions *league.Archive
 }
 
 // Server routes the v1 API onto a Session. Create with New; it implements
@@ -140,6 +149,10 @@ type Server struct {
 	metrics  *obs.Registry
 	requests *obs.CounterVec
 	verifies *obs.CounterVec
+	// League instruments: runs counts accepted POST /v1/league
+	// submissions, matches the matches of finished league jobs.
+	leagueRuns    *obs.Counter
+	leagueMatches *obs.Counter
 
 	// baseCtx outlives every request and is cancelled by Shutdown; the
 	// streaming handlers derive their subscription contexts from both it
@@ -209,6 +222,9 @@ func New(session *adhocga.Session, opts Options) *Server {
 	s.handle("GET /v1/jobs/{id}/ws", s.handleWS)
 	s.handle("POST /v1/jobs/{id}/verify", s.handleVerify)
 	s.handle("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.handle("GET /v1/champions", s.handleChampions)
+	s.handle("GET /v1/champions/{id...}", s.handleChampion)
+	s.handle("POST /v1/league", s.handleLeague)
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.metrics.Handler().ServeHTTP)
 	if opts.EnablePprof {
@@ -303,6 +319,8 @@ type JobInfo struct {
 	Error  string `json:"error,omitempty"`
 	// Results summarizes each scenario's outcome once the job is done.
 	Results []ScenarioResult `json:"results,omitempty"`
+	// League is a finished league job's table (kind "league" only).
+	League *adhocga.LeagueTable `json:"league,omitempty"`
 
 	StatusURL string `json:"status_url"`
 	EventsURL string `json:"events_url"`
@@ -335,6 +353,7 @@ func (s *Server) info(j *adhocga.Job) JobInfo {
 		info.Error = err.Error()
 	}
 	info.Results = resultsOf(j)
+	info.League = leagueOf(j)
 	return info
 }
 
@@ -377,7 +396,11 @@ func infoFromRecord(rec jobstore.Record) JobInfo {
 		VerifyURL: "/v1/jobs/" + rec.ID + "/verify",
 	}
 	if len(rec.Result) > 0 {
-		_ = json.Unmarshal(rec.Result, &info.Results)
+		if rec.Kind == "league" {
+			_ = json.Unmarshal(rec.Result, &info.League)
+		} else {
+			_ = json.Unmarshal(rec.Result, &info.Results)
+		}
 	}
 	return info
 }
@@ -527,16 +550,33 @@ func parseSubmit(body []byte) (SubmitRequest, error) {
 // handleList merges the store's view (the spine: submission order across
 // the store's whole lifetime, including jobs finished by an earlier
 // process) with live session handles, which win while a job runs.
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+// ?state=queued|running|done|failed|cancelled narrows the list to one
+// lifecycle state; the filter applies after the merge, so it sees each
+// job's freshest state.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	state := r.URL.Query().Get("state")
+	switch state {
+	case "", jobstore.StateQueued, jobstore.StateRunning, jobstore.StateDone,
+		jobstore.StateFailed, jobstore.StateCancelled:
+	default:
+		httpError(w, http.StatusBadRequest,
+			"unknown state %q (want queued, running, done, failed, or cancelled)", state)
+		return
+	}
 	out := []JobInfo{}
+	add := func(info JobInfo) {
+		if state == "" || info.State == state {
+			out = append(out, info)
+		}
+	}
 	seen := map[string]bool{}
 	if recs, err := s.store.List(); err == nil {
 		for _, rec := range recs {
 			seen[rec.ID] = true
 			if j, ok := s.session.Job(rec.ID); ok {
-				out = append(out, s.info(j))
+				add(s.info(j))
 			} else {
-				out = append(out, infoFromRecord(rec))
+				add(infoFromRecord(rec))
 			}
 		}
 	}
@@ -544,7 +584,7 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	// service, or evicted records) still list.
 	for _, j := range s.session.Jobs() {
 		if !seen[j.ID()] {
-			out = append(out, s.info(j))
+			add(s.info(j))
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})

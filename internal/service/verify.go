@@ -166,7 +166,14 @@ func (s *Server) replayRecord(ctx context.Context, rec jobstore.Record) ([]byte,
 	if rec.Events > 0 {
 		hub.RingSize = rec.Events
 	}
-	sandbox := adhocga.NewSession(adhocga.WithHubConfig(hub))
+	sessOpts := []adhocga.SessionOption{adhocga.WithHubConfig(hub)}
+	if rec.Kind == "league" && s.opts.Champions != nil {
+		// League seats resolve from the champion archive; sharing it is
+		// safe — replays archive nothing (the sandbox runs no checkpoints)
+		// and Select only reads.
+		sessOpts = append(sessOpts, adhocga.WithChampionArchive(s.opts.Champions))
+	}
+	sandbox := adhocga.NewSession(sessOpts...)
 	defer sandbox.Close()
 	// The original ID matters: events embed it, and the stored log was
 	// emitted under it.
@@ -184,7 +191,12 @@ func (s *Server) replayRecord(ctx context.Context, rec jobstore.Record) ([]byte,
 	if err := j.Wait(ctx); err != nil {
 		return nil, nil, fmt.Errorf("replay failed: %w", err)
 	}
-	results, err := json.Marshal(resultsOf(j))
+	var results []byte
+	if table := leagueOf(j); table != nil {
+		results, err = json.Marshal(table)
+	} else {
+		results, err = json.Marshal(resultsOf(j))
+	}
 	if err != nil {
 		return nil, nil, err
 	}

@@ -82,6 +82,20 @@ func islandsEvent(scen, rep int, gs island.GenerationStats) Event {
 	}}
 }
 
+// checkpointEvent adapts a champion checkpoint to the unified event shape.
+func checkpointEvent(scen, rep int, seed uint64, cp core.Checkpoint) Event {
+	return Event{Kind: KindCheckpoint, Checkpoint: &CheckpointEvent{
+		Scenario: scen,
+		Rep:      rep,
+		Gen:      cp.Generation,
+		Seed:     seed,
+		Genome:   cp.Best.Key(),
+		Fitness:  cp.Fitness,
+		MeanFit:  cp.MeanFitness,
+		Coop:     cp.Cooperation,
+	}}
+}
+
 // eventOptions returns a copy of opts with the session's pool and seed
 // policy installed and the observation hooks chained into event emission
 // (user-supplied hooks, if any, still fire first). Every batch spec's run
@@ -122,6 +136,13 @@ func eventOptions(opts RunOptions, s *Session, emit func(Event)) RunOptions {
 		}
 		emit(Event{Kind: KindChurn, Churn: &ChurnEvent{Scenario: scen, Rep: rep, Gen: gen}})
 	}
+	userCp := opts.OnCheckpoint
+	opts.OnCheckpoint = func(scen, rep int, seed uint64, cp core.Checkpoint) {
+		if userCp != nil {
+			userCp(scen, rep, seed, cp)
+		}
+		emit(checkpointEvent(scen, rep, seed, cp))
+	}
 	return opts
 }
 
@@ -150,6 +171,13 @@ func (sp EvolveSpec) run(ctx context.Context, s *Session, emit func(Event)) (any
 			userChurn(gen)
 		}
 		emit(Event{Kind: KindChurn, Churn: &ChurnEvent{Gen: gen}})
+	}
+	userCp := cfg.OnCheckpoint
+	cfg.OnCheckpoint = func(cp core.Checkpoint) {
+		if userCp != nil {
+			userCp(cp)
+		}
+		emit(checkpointEvent(0, 0, cfg.Seed, cp))
 	}
 	return runPooled(ctx, s, func() (any, error) {
 		engine, err := s.acquireEngine(cfg)
@@ -191,6 +219,13 @@ func (sp IslandsSpec) run(ctx context.Context, s *Session, emit func(Event)) (an
 			userChurn(gen)
 		}
 		emit(Event{Kind: KindChurn, Churn: &ChurnEvent{Gen: gen}})
+	}
+	userCp := cfg.OnCheckpoint
+	cfg.OnCheckpoint = func(cp core.Checkpoint) {
+		if userCp != nil {
+			userCp(cp)
+		}
+		emit(checkpointEvent(0, 0, cfg.Core.Seed, cp))
 	}
 	return runPooled(ctx, s, func() (any, error) {
 		engine, err := island.New(cfg)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"adhocga/internal/core"
+	"adhocga/internal/league"
 	"adhocga/internal/runner"
 )
 
@@ -33,6 +34,10 @@ type Session struct {
 	retain   int // max terminal jobs kept; ≤0 = unlimited
 	hubCfg   HubConfig
 	logger   *slog.Logger
+	// champions, when non-nil, receives a hall-of-fame record for every
+	// KindCheckpoint event any job emits (observed on the emit path, so
+	// archiving can never perturb engine randomness or job results).
+	champions *league.Archive
 
 	mu        sync.Mutex
 	jobs      map[string]*Job
@@ -119,6 +124,16 @@ func WithHubConfig(cfg HubConfig) SessionOption {
 // nothing unless they opt in.
 func WithLogger(l *slog.Logger) SessionOption {
 	return func(s *Session) { s.logger = l }
+}
+
+// WithChampionArchive attaches a hall-of-fame archive: every champion
+// checkpoint any job emits (scenarios with "checkpoints" set, or engine
+// configs with CheckpointInterval > 0) is recorded into it. Archiving is
+// a pure observer of the event stream — results and event bytes are
+// identical with or without it; Put failures are logged, never fatal to
+// the job.
+func WithChampionArchive(a *league.Archive) SessionOption {
+	return func(s *Session) { s.champions = a }
 }
 
 // NewSession builds a Session from its functional options.
@@ -217,7 +232,16 @@ func (s *Session) SubmitNamed(ctx context.Context, id string, spec JobSpec) (*Jo
 		}
 		j.setRunning()
 		s.logger.Info("job running", "job", j.id, "kind", j.kind)
-		res, err := spec.run(jctx, s, j.emit)
+		emit := j.emit
+		if s.champions != nil {
+			emit = func(ev Event) {
+				j.emit(ev)
+				if ev.Kind == KindCheckpoint {
+					s.archiveCheckpoint(j.id, spec, ev.Checkpoint)
+				}
+			}
+		}
+		res, err := spec.run(jctx, s, emit)
 		j.finish(res, err)
 		if err != nil {
 			s.logger.Warn("job finished", "job", j.id, "state", string(j.State()), "error", err)
@@ -227,6 +251,52 @@ func (s *Session) SubmitNamed(ctx context.Context, id string, spec JobSpec) (*Jo
 		s.prune()
 	}()
 	return j, nil
+}
+
+// Champions returns the session's champion archive (nil when none is
+// attached).
+func (s *Session) Champions() *league.Archive { return s.champions }
+
+// archiveCheckpoint records one checkpoint event into the champion
+// archive. Failures are logged and swallowed: archiving is observational
+// and must never fail the job that emitted the checkpoint.
+func (s *Session) archiveCheckpoint(jobID string, spec JobSpec, cp *CheckpointEvent) {
+	scen := checkpointScenarioName(spec, cp.Scenario)
+	c := league.Champion{
+		ID:          league.ChampionID(jobID, scen, cp.Rep, cp.Gen),
+		Job:         jobID,
+		Scenario:    scen,
+		Rep:         cp.Rep,
+		Generation:  cp.Gen,
+		Genome:      cp.Genome,
+		Seed:        cp.Seed,
+		Fitness:     cp.Fitness,
+		MeanFitness: cp.MeanFit,
+		Cooperation: cp.Coop,
+	}
+	if err := c.Fill(); err != nil {
+		s.logger.Warn("champion checkpoint dropped", "job", jobID, "error", err)
+		return
+	}
+	if err := s.champions.Put(c); err != nil {
+		s.logger.Warn("champion archive put failed", "job", jobID, "champion", c.ID, "error", err)
+		return
+	}
+	s.logger.Debug("champion archived", "job", jobID, "champion", c.ID, "gen", cp.Gen)
+}
+
+// checkpointScenarioName resolves the scenario label a checkpoint's
+// Scenario index refers to within the emitting spec.
+func checkpointScenarioName(spec JobSpec, idx int) string {
+	switch sp := spec.(type) {
+	case ScenariosSpec:
+		if idx >= 0 && idx < len(sp.Runs) {
+			return sp.Runs[idx].Spec.Name
+		}
+	case CaseSpec:
+		return sp.Case.Name
+	}
+	return spec.Kind()
 }
 
 // prune evicts the oldest terminal jobs beyond the retention bound so the
@@ -524,4 +594,5 @@ var (
 	_ JobSpec = SweepSpec{}
 	_ JobSpec = MixSpec{}
 	_ JobSpec = IPDRPSpec{}
+	_ JobSpec = LeagueJobSpec{}
 )
